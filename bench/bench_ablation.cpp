@@ -1,0 +1,196 @@
+// E15 — ablations of the framework's design choices (DESIGN.md §4):
+//   A. initialization quality: the MIS Base Algorithm vs the MIS
+//      Initialization Algorithm as B in the Simple Template — the
+//      "reasonable initialization" tie-breaks adjacent 1-predictions and
+//      shrinks the active subgraph before U starts;
+//   B. template comparison on the same instances: Simple / Consecutive /
+//      Interleaved / Parallel across error levels — who pays the factor 2,
+//      who is capped where;
+//   C. the Simple Template with Luby as R (Section 10): expected rounds
+//      on many-small-components instances vs the single-component case.
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/algorithms.hpp"
+#include "mis/checkers.hpp"
+#include "predict/error_measures.hpp"
+#include "predict/generators.hpp"
+#include "sim/engine.hpp"
+#include "templates/mis_with_predictions.hpp"
+#include "templates/problems_with_predictions.hpp"
+#include "templates/templates.hpp"
+#include "verify/local_verifier.hpp"
+#include "graph/exact.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+void init_ablation_table() {
+  banner("E15a (initialization ablation)",
+         "Simple Template with the MIS *Base* Algorithm vs the MIS "
+         "*Initialization* Algorithm as B. The initialization algorithm's "
+         "identifier tie-break decides adjacent 1-predictions up front, so "
+         "the measure-uniform phase starts from a smaller active graph.");
+  Table table({"graph", "pred", "rounds_base", "rounds_init", "valid"}, 14);
+  table.print_header();
+  Rng rng(5);
+  auto base_b = simple_template(make_mis_base(), make_greedy_mis());
+  auto init_b = simple_template(make_mis_init(), make_greedy_mis());
+  for (auto [name, graph] : std::vector<std::pair<std::string, Graph>>{
+           {"ring_60", make_ring(60)},
+           {"grid_8x8", make_grid(8, 8)},
+           {"gnp_60", make_gnp(60, 0.08, rng)}}) {
+    randomize_ids(graph, rng);
+    auto correct = mis_correct_prediction(graph, rng);
+    for (auto [pred_name, pred] : std::vector<std::pair<std::string, Predictions>>{
+             {"correct", correct},
+             {"8_flips", flip_bits(correct, 8, rng)},
+             {"all_ones", all_same(graph, 1)}}) {
+      auto rb = run_with_predictions(graph, pred, base_b);
+      auto ri = run_with_predictions(graph, pred, init_b);
+      const bool ok =
+          is_valid_mis(graph, rb.outputs) && is_valid_mis(graph, ri.outputs);
+      table.print_row({name, pred_name, fmt(rb.rounds), fmt(ri.rounds),
+                       ok ? "yes" : "NO"});
+    }
+  }
+}
+
+void template_matrix_table() {
+  banner("E15b (template comparison)",
+         "The four templates on identical instances. Simple has no "
+         "robustness cap; Consecutive/Interleaved pay a factor ~2 in the "
+         "degradation; Parallel gets both without the factor 2 "
+         "(Section 7's summary paragraphs, measured).");
+  Table table({"flips", "eta1", "simple", "consec", "interleav", "parallel"},
+              11);
+  table.print_header();
+  Rng rng(11);
+  Graph g = make_line(120);
+  sorted_ids(g);
+  auto correct = mis_correct_prediction(g, rng);
+  for (int flips : {0, 1, 4, 12, 32, 120}) {
+    auto pred = flips == 120 ? all_same(g, 1) : flip_bits(correct, flips, rng);
+    auto rs = run_with_predictions(g, pred, mis_simple_greedy());
+    auto rc = run_with_predictions(g, pred, mis_consecutive_linial());
+    auto ri = run_with_predictions(g, pred, mis_interleaved_gather());
+    auto rp = run_with_predictions(g, pred, mis_parallel_linial());
+    table.print_row({fmt(flips), fmt(eta1_mis(g, pred)), fmt(rs.rounds),
+                     fmt(rc.rounds), fmt(ri.rounds), fmt(rp.rounds)});
+  }
+}
+
+void luby_template_table() {
+  banner("E15c (Simple Template with randomized R — Section 10)",
+         "Simple(Init, Luby): expected rounds for one big error component "
+         "vs many small ones with the SAME eta1. The max-based measure "
+         "cannot see the component count; the measured mean can.");
+  Table table({"instance", "eta1", "mean_rounds", "max_rounds"}, 16);
+  table.print_header();
+  const int kTrials = 12;
+  auto run_mean = [&](const Graph& g, const Predictions& pred, double* mx) {
+    double total = 0;
+    int worst = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto r = run_with_predictions(g, pred,
+                                    mis_simple_luby(977 + 13 * t));
+      total += r.rounds;
+      worst = std::max(worst, r.rounds);
+    }
+    *mx = worst;
+    return total / kTrials;
+  };
+  {
+    Graph g = make_line(8);
+    auto pred = all_same(g, 0);
+    double mx = 0;
+    const double mean = run_mean(g, pred, &mx);
+    table.print_row({"one_8line", fmt(eta1_mis(g, pred)), fmt(mean), fmt(mx)});
+  }
+  for (int m : {20, 200}) {
+    Graph g = make_line(8);
+    for (int i = 1; i < m; ++i) g = disjoint_union(g, make_line(8));
+    auto pred = all_same(g, 0);
+    double mx = 0;
+    const double mean = run_mean(g, pred, &mx);
+    table.print_row({fmt(m) + "x_8lines", fmt(eta1_mis(g, pred)), fmt(mean),
+                     fmt(mx)});
+  }
+}
+
+void verification_table() {
+  banner("E15d (consistency vs verification, Section 1.2)",
+         "The paper calls an algorithm consistent when its zero-error "
+         "rounds are within a constant of the rounds needed just to CHECK "
+         "a predicted solution. Measured: the local verifiers take 1 "
+         "round; the algorithms with predictions take 1-3.");
+  Table table({"problem", "verify_rds", "algo_rds(eta=0)"}, 18);
+  table.print_header();
+  Rng rng(21);
+  Graph g = make_grid(8, 8);
+  randomize_ids(g, rng);
+  {
+    auto in = sequential_mis(g);
+    std::vector<Value> claimed(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) claimed[i] = in[i] ? 1 : 0;
+    auto vr = verify_mis_locally(g, claimed);
+    auto algo = run_with_predictions(g, Predictions{claimed},
+                                     mis_parallel_linial());
+    table.print_row({"MIS", fmt(vr.rounds), fmt(algo.rounds)});
+  }
+  {
+    auto pred = matching_correct_prediction(g, rng);
+    auto vr = verify_matching_locally(g, pred.node_values());
+    auto algo = run_with_predictions(g, pred, matching_parallel_linegraph());
+    table.print_row({"MaximalMatching", fmt(vr.rounds), fmt(algo.rounds)});
+  }
+  {
+    auto pred = coloring_correct_prediction(g, rng);
+    auto vr = verify_coloring_locally(g, pred.node_values(),
+                                      g.max_degree() + 1);
+    auto algo = run_with_predictions(g, pred, coloring_parallel_linial());
+    table.print_row({"(D+1)-VertexCol", fmt(vr.rounds), fmt(algo.rounds)});
+  }
+  {
+    auto pred = edge_coloring_correct_prediction(g, rng);
+    auto vr = verify_edge_coloring_locally(g, pred.edge_values());
+    auto algo =
+        run_with_predictions(g, pred, edge_coloring_consecutive_linegraph());
+    table.print_row({"(2D-1)-EdgeCol", fmt(vr.rounds), fmt(algo.rounds)});
+  }
+}
+
+void BM_TemplateMatrix(benchmark::State& state) {
+  Rng rng(2);
+  Graph g = make_line(120);
+  sorted_ids(g);
+  auto pred = all_same(g, 1);
+  ProgramFactory (*factories[])() = {&mis_simple_greedy,
+                                     &mis_consecutive_linial,
+                                     &mis_interleaved_gather,
+                                     &mis_parallel_linial};
+  auto factory = factories[state.range(0)];
+  int rounds = 0;
+  for (auto _ : state) {
+    auto result = run_with_predictions(g, pred, factory());
+    rounds = result.rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_TemplateMatrix)->DenseRange(0, 3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init_ablation_table();
+  template_matrix_table();
+  luby_template_table();
+  verification_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

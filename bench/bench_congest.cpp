@@ -1,0 +1,85 @@
+// E13 — CONGEST accounting (Section 2): which algorithms fit the
+// O(log n)-bit message regime? The engine records the widest message each
+// algorithm sends; Greedy MIS, Linial, GPS and the base/init algorithms
+// are CONGEST-friendly (O(1) words), while the gather reference is a
+// LOCAL-model algorithm whose messages grow with the component.
+#include "bench_util.hpp"
+
+#include "coloring/linial.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/algorithms.hpp"
+#include "mis/congest_global.hpp"
+#include "mis/gather.hpp"
+#include "predict/generators.hpp"
+#include "sim/engine.hpp"
+#include "templates/mis_with_predictions.hpp"
+#include "tree/gps.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+void print_table() {
+  banner("E13 (Section 2, LOCAL vs CONGEST)",
+         "Max message width (words), total messages and words per "
+         "algorithm on a 100-node random graph. One word = one id/color; "
+         "width 1-2 is CONGEST-friendly.");
+  Table table({"algorithm", "rounds", "max_width", "messages", "words"},
+              16);
+  table.print_header();
+  Rng rng(4);
+  Graph g = make_random_connected(100, 50, rng);
+  auto pred = flip_bits(mis_correct_prediction(g, rng), 10, rng);
+
+  auto report = [&](const char* name, RunResult result) {
+    table.print_row({name, fmt(result.rounds), fmt(result.max_message_words),
+                     fmt(result.total_messages), fmt(result.total_words)});
+  };
+  report("greedy_mis", run_algorithm(g, greedy_mis_algorithm()));
+  report("linial_coloring", run_algorithm(g, linial_coloring_algorithm()));
+  report("mis_simple_greedy",
+         run_with_predictions(g, pred, mis_simple_greedy()));
+  report("mis_parallel_linial",
+         run_with_predictions(g, pred, mis_parallel_linial()));
+  report("mis_gather_LOCAL", run_algorithm(g, mis_gather_algorithm()));
+  {
+    // The CONGEST universal reference is O(n^2) rounds; demo on a smaller
+    // instance so the table stays quick.
+    Rng rng2(5);
+    Graph small = make_random_connected(24, 12, rng2);
+    report("congest_global_24", run_algorithm(small, congest_global_mis_algorithm()));
+  }
+  report("mis_interleaved",
+         run_with_predictions(g, pred, mis_interleaved_gather()));
+  {
+    RootedTree t = make_rooted_random_tree(100, rng);
+    randomize_ids(t.graph, rng);
+    report("gps_tree_coloring",
+           run_algorithm(t.graph, gps_coloring_algorithm(t)));
+  }
+}
+
+void BM_MessageAccounting(benchmark::State& state) {
+  Rng rng(8);
+  Graph g = make_random_connected(static_cast<NodeId>(state.range(0)),
+                                  state.range(0) / 2, rng);
+  std::int64_t words = 0;
+  for (auto _ : state) {
+    auto result = run_algorithm(g, greedy_mis_algorithm());
+    words = result.total_words;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["total_words"] = static_cast<double>(words);
+}
+BENCHMARK(BM_MessageAccounting)->Arg(100)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

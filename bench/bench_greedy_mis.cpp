@@ -1,0 +1,100 @@
+// E1/E2 — Lemmas 1 and 2: the Greedy MIS Algorithm's measured round count
+// versus its two measure-uniform bounds μ1 (component size) and μ2 + 1
+// (2·min{α, τ} + 1), plus the Lemma 5 tightness instance (sorted-id line).
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/algorithms.hpp"
+#include "mis/checkers.hpp"
+#include "predict/error_measures.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+struct Row {
+  std::string graph;
+  Graph g;
+};
+
+std::vector<Row> make_rows() {
+  Rng rng(42);
+  std::vector<Row> rows;
+  auto add = [&](std::string name, Graph g, bool shuffle = true) {
+    if (shuffle) randomize_ids(g, rng);
+    rows.push_back({std::move(name), std::move(g)});
+  };
+  add("line_64", make_line(64));
+  add("line_256", make_line(256));
+  add("sorted_line_64", [] { Graph g = make_line(64); sorted_ids(g); return g; }(), false);
+  add("sorted_line_256", [] { Graph g = make_line(256); sorted_ids(g); return g; }(), false);
+  add("ring_128", make_ring(128));
+  add("clique_64", make_clique(64));
+  add("star_128", make_star(128));
+  add("grid_12x12", make_grid(12, 12));
+  add("wheel_F24", make_wheel_fk(24));
+  add("gnp_100_p05", make_gnp(100, 0.05, rng));
+  add("gnp_100_p20", make_gnp(100, 0.20, rng));
+  add("tree_100", make_random_tree(100, rng));
+  return rows;
+}
+
+void print_table() {
+  banner("E1/E2 (Lemmas 1-2)",
+         "Greedy MIS rounds <= mu1 and <= mu2+1 on every component; "
+         "sorted-id lines show the Omega(n) measure-uniform lower bound "
+         "(Lemma 5 / Theorem 6).");
+  Table table({"graph", "n", "rounds", "mu1", "mu2+1", "valid"});
+  table.print_header();
+  for (auto& row : make_rows()) {
+    auto result = run_algorithm(row.g, greedy_mis_algorithm());
+    int mu1 = 0;
+    for (const auto& comp : connected_components(row.g)) {
+      mu1 = std::max(mu1, static_cast<int>(comp.size()));
+    }
+    const bool small = row.g.num_nodes() <= 150;
+    const int mu2 = small ? mu2_max(row.g, connected_components(row.g)) : -1;
+    table.print_row({row.graph, fmt(row.g.num_nodes()), fmt(result.rounds),
+                     fmt(mu1), small ? fmt(mu2 + 1) : std::string("-"),
+                     is_valid_mis(row.g, result.outputs) ? "yes" : "NO"});
+  }
+}
+
+void BM_GreedyMisLine(benchmark::State& state) {
+  Graph g = make_line(static_cast<NodeId>(state.range(0)));
+  sorted_ids(g);
+  int rounds = 0;
+  for (auto _ : state) {
+    auto result = run_algorithm(g, greedy_mis_algorithm());
+    rounds = result.rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_GreedyMisLine)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GreedyMisGnp(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = make_gnp(static_cast<NodeId>(state.range(0)), 0.1, rng);
+  int rounds = 0;
+  for (auto _ : state) {
+    auto result = run_algorithm(g, greedy_mis_algorithm());
+    rounds = result.rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_GreedyMisGnp)->Arg(100)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E11 — Section 10 (open problems): randomized reference algorithms break
+// the max-based error measures. Luby's MIS finishes ONE component of size
+// s in O(log s) expected rounds, but the MAX over many components grows
+// with the number of components — so the Simple Template with Luby as R is
+// NOT O(log η1)-degrading in expectation. The table reports the mean and
+// max completion rounds over seeds for 1 vs many components.
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/algorithms.hpp"
+#include "mis/checkers.hpp"
+#include "random/luby.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+double mean_rounds(const Graph& g, int trials, std::uint64_t seed0,
+                   int* max_rounds = nullptr) {
+  double total = 0;
+  int worst = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto result = run_algorithm(g, luby_mis_algorithm(seed0 + t));
+    total += result.rounds;
+    worst = std::max(worst, result.rounds);
+  }
+  if (max_rounds) *max_rounds = worst;
+  return total / trials;
+}
+
+void print_table() {
+  banner("E11 (Section 10)",
+         "Luby's MIS: expected rounds on ONE size-s component vs the max "
+         "over m disjoint size-s components. The max grows with m even "
+         "though eta1 (a maximum) stays s — a maximum-based error measure "
+         "cannot bound a randomized reference's expectation.");
+  Table table({"components", "comp_size", "mean_rounds", "max_rounds",
+               "comp_mean"});
+  table.print_header();
+  const int kTrials = 15;
+  for (int comp_size : {6, 10}) {
+    for (int m : {1, 10, 100, 400}) {
+      Graph g = make_line(comp_size);
+      for (int i = 1; i < m; ++i) g = disjoint_union(g, make_line(comp_size));
+      int worst = 0;
+      const double mean = mean_rounds(g, kTrials, 1000 + 7 * m, &worst);
+      // Per-component completion stats for one run: the typical component
+      // is fast; only the max (what the algorithm must wait for) grows.
+      auto one = run_algorithm(g, luby_mis_algorithm(1000 + 7 * m));
+      auto per_comp = completion_round_per_component(g, one);
+      double comp_mean = 0;
+      for (int r : per_comp) comp_mean += r;
+      comp_mean /= static_cast<double>(per_comp.size());
+      table.print_row({fmt(m), fmt(comp_size), fmt(mean), fmt(worst),
+                       fmt(comp_mean)});
+    }
+  }
+
+  banner("E11b",
+         "Reference scaling: Luby on a single long line is O(log n) — "
+         "compare Greedy MIS's Theta(n) on sorted identifiers.");
+  Table t2({"n", "luby_mean", "luby_max", "greedy_sorted"});
+  t2.print_header();
+  for (NodeId n : {64, 256, 1024}) {
+    Graph g = make_line(n);
+    sorted_ids(g);
+    int worst = 0;
+    const double mean = mean_rounds(g, 10, 77, &worst);
+    auto greedy = run_algorithm(g, greedy_mis_algorithm());
+    t2.print_row({fmt(n), fmt(mean), fmt(worst), fmt(greedy.rounds)});
+  }
+}
+
+void BM_Luby(benchmark::State& state) {
+  Graph g = make_line(static_cast<NodeId>(state.range(0)));
+  sorted_ids(g);
+  std::uint64_t seed = 1;
+  int rounds = 0;
+  for (auto _ : state) {
+    auto result = run_algorithm(g, luby_mis_algorithm(seed++));
+    rounds = result.rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_Luby)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E14 — Section 10 open problem: a consistency/robustness trade-off knob.
+// The Consecutive template's uniform-phase budget is scaled by λ ∈ [0, 1]:
+//   λ = 0  — pure reference (maximally robust, no benefit from
+//            predictions beyond the initialization);
+//   λ = 1  — Lemma 8 (full degradation window, worst case 2r).
+// Sweeping λ across prediction-error levels exhibits the trade-off the
+// paper asks about.
+#include "bench_util.hpp"
+
+#include "coloring/linial.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/checkers.hpp"
+#include "predict/error_measures.hpp"
+#include "predict/generators.hpp"
+#include "sim/engine.hpp"
+#include "templates/mis_with_predictions.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+void print_table() {
+  banner("E14 (Section 10 open problem)",
+         "Consecutive template with a U-budget knob lambda (fraction of "
+         "the Linial reference bound spent on Greedy MIS first). Rows: "
+         "error level; columns: rounds at each lambda. Good predictions "
+         "favour large lambda; bad ones favour small.");
+  Table table({"graph", "flips", "eta1", "lam=0", "lam=1/4", "lam=1/2",
+               "lam=1"},
+              11);
+  table.print_header();
+  Rng rng(99);
+  for (NodeId n : {80, 160}) {
+    Graph g = make_line(n);
+    sorted_ids(g);
+    auto base = mis_correct_prediction(g, rng);
+    for (int flips : {0, 2, 8, 24, n}) {
+      auto pred = flips == n ? all_same(g, 1) : flip_bits(base, flips, rng);
+      std::vector<std::string> cells = {"sorted_line_" + fmt(n), fmt(flips),
+                                        fmt(eta1_mis(g, pred))};
+      bool all_valid = true;
+      for (auto [num, den] : std::vector<std::pair<int, int>>{
+               {0, 1}, {1, 4}, {1, 2}, {1, 1}}) {
+        auto result = run_with_predictions(
+            g, pred, mis_consecutive_linial_lambda(num, den));
+        all_valid = all_valid && is_valid_mis(g, result.outputs);
+        cells.push_back(fmt(result.rounds));
+      }
+      if (!all_valid) cells.back() += "!";
+      table.print_row(cells);
+    }
+  }
+}
+
+void BM_Tradeoff(benchmark::State& state) {
+  Rng rng(3);
+  Graph g = make_line(120);
+  sorted_ids(g);
+  auto pred = all_same(g, 1);
+  int rounds = 0;
+  for (auto _ : state) {
+    auto result = run_with_predictions(
+        g, pred,
+        mis_consecutive_linial_lambda(static_cast<int>(state.range(0)), 4));
+    rounds = result.rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_Tradeoff)->Arg(0)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark binaries.
+//
+// Each bench binary regenerates one experiment from EXPERIMENTS.md: it
+// prints a paper-style table (measured rounds next to the bound the paper
+// proves) and then runs a few google-benchmark timings so wall-clock cost
+// of the simulation itself is also tracked.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dgap::benchutil {
+
+/// Fixed-width table printer: header once, then rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void print_header() const {
+    std::string rule;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%-*s", width_, columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size() * static_cast<std::size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string fmt(std::int64_t v) { return std::to_string(v); }
+inline std::string fmt(int v) { return std::to_string(v); }
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace dgap::benchutil

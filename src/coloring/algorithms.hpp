@@ -1,0 +1,77 @@
+// (Δ+1)-Vertex Coloring building blocks (Section 8.2).
+//
+//  * ColoringBasePhase   — the base algorithm: a node whose predicted color
+//                          is a legal palette color differing from every
+//                          neighbor's prediction outputs it (2 rounds).
+//  * ColoringInitPhase   — the reasonable initialization: ties between
+//                          equal predictions are broken by identifier.
+//  * GreedyColoringPhase — the measure-uniform algorithm: each round, every
+//                          active local-max node picks the smallest palette
+//                          color not output by a terminated neighbor.
+//
+// No clean-up algorithm exists (or is needed): any proper partial coloring
+// is extendable because the palette has Δ+1 > deg(v) colors.
+#pragma once
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+inline constexpr int kColoringBaseRounds = 2;
+inline constexpr int kColoringInitRounds = 2;
+
+class ColoringBasePhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  bool wins_ = false;
+};
+
+class ColoringInitPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  bool wins_ = false;
+};
+
+class GreedyColoringPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+};
+
+/// Emits a coloring held in local state (e.g. computed by Linial part 1),
+/// one color class per round, repairing clashes with colors that
+/// terminated neighbors output in the meantime: in round j, a node whose
+/// stored color is j outputs the smallest palette color not output by any
+/// terminated neighbor. Within a round the emitting class is an
+/// independent set, and later classes see earlier outputs, so the result
+/// is always proper. Δ+1 rounds.
+class ColorClassEmitPhase final : public PhaseProgram {
+ public:
+  using ColorFn = std::function<Value()>;
+  explicit ColorClassEmitPhase(ColorFn stored_color)
+      : stored_color_(std::move(stored_color)) {}
+
+  void on_send(NodeContext&, Channel&) override {}
+  Status on_receive(NodeContext& ctx, Channel&) override;
+
+ private:
+  ColorFn stored_color_;
+  int step_ = 0;
+};
+
+PhaseFactory make_coloring_base();
+PhaseFactory make_coloring_init();
+PhaseFactory make_greedy_coloring();
+
+/// Greedy coloring as a standalone algorithm without predictions.
+ProgramFactory greedy_coloring_algorithm();
+
+}  // namespace dgap

@@ -1,0 +1,61 @@
+#include "coloring/checkers.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+#include "sim/phase.hpp"
+
+namespace dgap {
+namespace {
+bool defined(Value v) { return v != kUndefined && v != kLeftoverActive; }
+}  // namespace
+
+std::string check_coloring(const Graph& g, const std::vector<Value>& outputs,
+                           Value palette) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one output per node");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!defined(outputs[v])) {
+      std::ostringstream os;
+      os << "node " << v << " has no color";
+      return os.str();
+    }
+    if (outputs[v] < 1 || outputs[v] > palette) {
+      std::ostringstream os;
+      os << "node " << v << " color " << outputs[v] << " outside palette 1.."
+         << palette;
+      return os.str();
+    }
+    for (NodeId u : g.neighbors(v)) {
+      if (defined(outputs[u]) && outputs[u] == outputs[v]) {
+        std::ostringstream os;
+        os << "adjacent nodes " << v << " and " << u << " share color "
+           << outputs[v];
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+bool is_valid_coloring(const Graph& g, const std::vector<Value>& outputs,
+                       Value palette) {
+  return check_coloring(g, outputs, palette).empty();
+}
+
+bool is_proper_partial_coloring(const Graph& g,
+                                const std::vector<Value>& outputs,
+                                Value palette) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one output per node");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!defined(outputs[v])) continue;
+    if (outputs[v] < 1 || outputs[v] > palette) return false;
+    for (NodeId u : g.neighbors(v)) {
+      if (defined(outputs[u]) && outputs[u] == outputs[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dgap

@@ -1,0 +1,32 @@
+// Validity checkers for the (Δ+1)-Vertex Coloring problem.
+//
+// Outputs are colors in {1, ..., Δ+1}. A partial solution is extendable
+// (Section 8.2) as long as the assigned colors are proper: every active
+// node's implicit palette (the colors not output by its neighbors) stays
+// larger than its remaining degree automatically, because the global
+// palette has Δ+1 colors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dgap {
+
+/// Empty string iff `outputs` is a complete proper coloring with colors in
+/// {1, ..., palette}; otherwise a description of the first violation.
+std::string check_coloring(const Graph& g, const std::vector<Value>& outputs,
+                           Value palette);
+
+bool is_valid_coloring(const Graph& g, const std::vector<Value>& outputs,
+                       Value palette);
+
+/// Partial version: undefined outputs are skipped; defined ones must be
+/// palette colors and proper with respect to other defined ones.
+bool is_proper_partial_coloring(const Graph& g,
+                                const std::vector<Value>& outputs,
+                                Value palette);
+
+}  // namespace dgap

@@ -1,0 +1,297 @@
+#include "coloring/linial.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+#include "mis/algorithms.hpp"
+
+namespace dgap {
+
+LinialSchedule linial_schedule(std::int64_t d, int delta,
+                               bool reduce_all_classes, bool kw_reduction) {
+  DGAP_REQUIRE(d >= 1, "identifier bound must be positive");
+  DGAP_REQUIRE(delta >= 0, "max degree must be non-negative");
+  DGAP_REQUIRE(!(reduce_all_classes && kw_reduction),
+               "output-respecting reduction and KW blocks are exclusive");
+  LinialSchedule s;
+  if (delta == 0) {
+    // No conflicts possible: everyone can take color 0 right away.
+    s.final_colors = 1;
+    s.reduction_rounds = 0;
+    s.total_rounds = 1;  // the final announce round
+    return s;
+  }
+  std::int64_t m = d;  // colors are 0..d-1 initially (identifier − 1)
+  while (true) {
+    // Smallest polynomial degree k whose set system can encode m colors.
+    std::int64_t k = 1, q = 0;
+    for (;; ++k) {
+      DGAP_REQUIRE(k <= 64, "Linial degree search overflow");
+      q = next_prime(k * delta + 1);
+      if (ipow_sat(q, static_cast<int>(k + 1)) >= m) break;
+    }
+    const std::int64_t m_new = q * q;
+    if (m_new >= m) break;  // fixed point: palette no longer shrinks
+    s.steps.push_back({k, q});
+    m = m_new;
+  }
+  s.final_colors = m;
+  // Build the per-round reduction plan.
+  auto class_tail = [&](std::vector<LinialReductionStep>& plan,
+                        std::int64_t colors) {
+    const Value floor = reduce_all_classes ? 0 : delta + 1;
+    for (Value c = colors - 1; c >= floor; --c) plan.push_back({0, c, false});
+  };
+  if (kw_reduction) {
+    // Kuhn–Wattenhofer block stages cost Δ+1 rounds each and roughly halve
+    // the palette; they only pay off while the palette is large, so build
+    // the KW plan AND the plain plan and keep the shorter (both are pure
+    // functions of (d, Δ), so every node picks the same one).
+    std::vector<LinialReductionStep> kw_plan;
+    std::int64_t mk = m;
+    const Value block = 2 * (static_cast<Value>(delta) + 1);
+    while (mk > block) {
+      // Stop doubling down when finishing by classes is already cheaper.
+      if (mk - (delta + 1) <= delta + 1) break;
+      for (Value t = 0; t <= delta; ++t) {
+        kw_plan.push_back(
+            {block, static_cast<Value>(delta) + 1 + t, t == delta});
+      }
+      mk = ceil_div(mk, block) * (delta + 1);
+    }
+    class_tail(kw_plan, mk);
+    std::vector<LinialReductionStep> plain_plan;
+    class_tail(plain_plan, m);
+    s.reduction = kw_plan.size() < plain_plan.size() ? std::move(kw_plan)
+                                                     : std::move(plain_plan);
+  } else {
+    class_tail(s.reduction, m);
+  }
+  s.reduction_rounds = static_cast<int>(s.reduction.size());
+  s.total_rounds = static_cast<int>(s.steps.size()) + s.reduction_rounds + 1;
+  return s;
+}
+
+int linial_total_rounds(std::int64_t d, int delta) {
+  return linial_schedule(d, delta).total_rounds;
+}
+
+int linial_total_rounds_respecting(std::int64_t d, int delta) {
+  return linial_schedule(d, delta, /*reduce_all_classes=*/true).total_rounds;
+}
+
+int linial_total_rounds_kw(std::int64_t d, int delta) {
+  return linial_schedule(d, delta, false, /*kw_reduction=*/true).total_rounds;
+}
+
+void LinialColoringPhase::ensure_schedule(const NodeContext& ctx) {
+  if (scheduled_) return;
+  schedule_ = linial_schedule(ctx.d(), ctx.delta(),
+                              options_.respect_terminated_outputs,
+                              options_.kw_reduction);
+  color_ = ctx.delta() == 0 ? 0 : ctx.id() - 1;
+  scheduled_ = true;
+}
+
+Value LinialColoringPhase::poly_eval(Value color, std::int64_t k,
+                                     std::int64_t q, std::int64_t x) const {
+  // color encodes the coefficient vector of a degree-k polynomial over
+  // GF(q), base-q digits = coefficients; evaluate by Horner from the top.
+  Value coeff[65];
+  Value c = color;
+  for (std::int64_t i = 0; i <= k; ++i) {
+    coeff[i] = c % q;
+    c /= q;
+  }
+  Value acc = 0;
+  for (std::int64_t i = k; i >= 0; --i) acc = (acc * x + coeff[i]) % q;
+  return acc;
+}
+
+Value LinialColoringPhase::neighbor_palette_color(NodeId u) const {
+  auto it = neighbor_color_.find(u);
+  if (it == neighbor_color_.end()) return kUndefined;
+  return it->second + 1;
+}
+
+void LinialColoringPhase::on_send(NodeContext& ctx, Channel& ch) {
+  ensure_schedule(ctx);
+  if (done_) return;
+  ch.broadcast({color_});
+}
+
+PhaseProgram::Status LinialColoringPhase::on_receive(NodeContext& ctx,
+                                                     Channel& ch) {
+  ensure_schedule(ctx);
+  if (done_) return Status::kFinished;
+  ++step_;
+  for (const Message* m : ch.inbox()) {
+    neighbor_color_[m->from] = m->words.at(0);
+  }
+  const int num_steps = static_cast<int>(schedule_.steps.size());
+  if (step_ <= num_steps) {
+    // One Linial reduction: find x ∈ GF(q) separating us from every live
+    // neighbor, new color = (x, p(x)).
+    const auto [k, q] = schedule_.steps[static_cast<std::size_t>(step_ - 1)];
+    std::int64_t chosen_x = -1;
+    for (std::int64_t x = 0; x < q && chosen_x < 0; ++x) {
+      bool ok = true;
+      const Value mine = poly_eval(color_, k, q, x);
+      for (NodeId u : ctx.active_neighbors()) {
+        auto it = neighbor_color_.find(u);
+        if (it == neighbor_color_.end()) continue;
+        DGAP_ASSERT(it->second != color_,
+                    "Linial invariant: the running coloring stays proper");
+        if (poly_eval(it->second, k, q, x) == mine) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) chosen_x = x;
+    }
+    DGAP_ASSERT(chosen_x >= 0,
+                "q > kΔ guarantees a separating evaluation point");
+    color_ = chosen_x * q + poly_eval(color_, k, q, chosen_x);
+  } else if (step_ <= num_steps + schedule_.reduction_rounds) {
+    const auto& op = schedule_.reduction[static_cast<std::size_t>(
+        step_ - num_steps - 1)];
+    const Value delta = ctx.delta();
+    if (op.block > 0) {
+      // Kuhn–Wattenhofer step: the scheduled offset of every block
+      // recolors into its block's lower Δ+1 slots, avoiding same-block
+      // neighbors only (other blocks occupy disjoint color ranges).
+      if (color_ % op.block == op.target_or_offset) {
+        const Value base = (color_ / op.block) * op.block;
+        std::vector<bool> used(static_cast<std::size_t>(delta + 1), false);
+        for (NodeId u : ctx.active_neighbors()) {
+          auto it = neighbor_color_.find(u);
+          if (it == neighbor_color_.end()) continue;
+          const Value nc = it->second;
+          if (nc >= base && nc < base + delta + 1) {
+            used[static_cast<std::size_t>(nc - base)] = true;
+          }
+        }
+        Value fresh = -1;
+        for (Value slot = 0; slot <= delta; ++slot) {
+          if (!used[static_cast<std::size_t>(slot)]) {
+            fresh = base + slot;
+            break;
+          }
+        }
+        DGAP_ASSERT(fresh >= 0, "a block's lower Δ+1 slots cannot fill up");
+        color_ = fresh;
+      }
+      if (op.relabel) {
+        // Stage complete: compact the color space (pure local map,
+        // applied by every node simultaneously).
+        color_ = (color_ / op.block) * (delta + 1) + color_ % op.block;
+      }
+    } else {
+      // Classic one-class-per-round elimination into {0..Δ}.
+      if (color_ == op.target_or_offset) {
+        std::vector<bool> used(static_cast<std::size_t>(delta + 1), false);
+        for (NodeId u : ctx.active_neighbors()) {
+          auto it = neighbor_color_.find(u);
+          if (it != neighbor_color_.end() && it->second <= delta) {
+            used[static_cast<std::size_t>(it->second)] = true;
+          }
+        }
+        if (options_.respect_terminated_outputs) {
+          // Palette colors already output by terminated neighbors (their
+          // outputs are 1-based palette colors; internal colors 0-based).
+          for (NodeId u : ctx.neighbors()) {
+            const Value out = ctx.neighbor_output(u);
+            if (out >= 1 && out <= delta + 1) {
+              used[static_cast<std::size_t>(out - 1)] = true;
+            }
+          }
+        }
+        Value fresh = -1;
+        for (Value c = 0; c <= delta; ++c) {
+          if (!used[static_cast<std::size_t>(c)]) {
+            fresh = c;
+            break;
+          }
+        }
+        DGAP_ASSERT(fresh >= 0, "a Δ+1 palette always has a free color");
+        color_ = fresh;
+      }
+    }
+  } else {
+    // Final announce round already happened via this round's broadcast.
+    DGAP_ASSERT(color_ >= 0 && color_ <= ctx.delta(),
+                "final Linial color must be in 0..Δ");
+    done_ = true;
+    return Status::kFinished;
+  }
+  return Status::kRunning;
+}
+
+namespace {
+
+class LinialColoringAlgorithm final : public NodeProgram {
+ public:
+  void on_send(NodeContext& ctx) override {
+    Channel ch(ctx, 0);
+    phase_.on_send(ctx, ch);
+  }
+  void on_receive(NodeContext& ctx) override {
+    Channel ch(ctx, 0);
+    if (phase_.on_receive(ctx, ch) == PhaseProgram::Status::kFinished) {
+      ctx.set_output(phase_.palette_color());
+      ctx.terminate();
+    }
+  }
+
+ private:
+  LinialColoringPhase phase_;
+};
+
+/// Corollary 12's reference: Linial coloring (part 1, fault-tolerant,
+/// results held locally) followed by the augmented coloring→MIS sweep
+/// (part 2).
+class LinialMisPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override {
+    if (part2_) {
+      part2_->on_send(ctx, ch);
+    } else {
+      part1_.on_send(ctx, ch);
+    }
+  }
+
+  Status on_receive(NodeContext& ctx, Channel& ch) override {
+    if (!part2_) {
+      if (part1_.on_receive(ctx, ch) == Status::kFinished) {
+        part2_ = std::make_unique<ColorToMisPhase>(
+            static_cast<Value>(ctx.delta() + 1),
+            [this] { return part1_.palette_color(); },
+            [this](NodeId u) { return part1_.neighbor_palette_color(u); });
+      }
+      return Status::kRunning;
+    }
+    return part2_->on_receive(ctx, ch);
+  }
+
+ private:
+  LinialColoringPhase part1_;
+  std::unique_ptr<ColorToMisPhase> part2_;
+};
+
+}  // namespace
+
+ProgramFactory linial_coloring_algorithm() {
+  return [](NodeId) { return std::make_unique<LinialColoringAlgorithm>(); };
+}
+
+PhaseFactory make_linial_mis_reference() {
+  return [](NodeId) { return std::make_unique<LinialMisPhase>(); };
+}
+
+int linial_mis_total_rounds(std::int64_t d, int delta) {
+  // Part 2 processes colors 1..Δ+1 plus one drain round.
+  return linial_total_rounds(d, delta) + delta + 2;
+}
+
+}  // namespace dgap

@@ -1,0 +1,59 @@
+#include "common/math_util.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+bool is_prime(std::int64_t x) {
+  if (x < 2) return false;
+  if (x < 4) return true;
+  if (x % 2 == 0) return false;
+  for (std::int64_t p = 3; p * p <= x; p += 2) {
+    if (x % p == 0) return false;
+  }
+  return true;
+}
+
+std::int64_t next_prime(std::int64_t x) {
+  DGAP_REQUIRE(x >= 0, "next_prime needs a non-negative start");
+  if (x <= 2) return 2;
+  std::int64_t p = x | 1;  // first odd >= x
+  while (!is_prime(p)) p += 2;
+  return p;
+}
+
+int ilog2(std::int64_t x) {
+  DGAP_REQUIRE(x >= 1, "ilog2 needs x >= 1");
+  int l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+int log_star(std::int64_t x) {
+  DGAP_REQUIRE(x >= 1, "log_star needs x >= 1");
+  int iters = 0;
+  while (x > 1) {
+    x = ilog2(x);
+    ++iters;
+  }
+  return iters;
+}
+
+std::int64_t ipow_sat(std::int64_t base, int exp) {
+  DGAP_REQUIRE(base >= 0 && exp >= 0, "ipow_sat needs non-negative inputs");
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && r > std::numeric_limits<std::int64_t>::max() / base) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace dgap

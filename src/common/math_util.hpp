@@ -1,0 +1,32 @@
+// Small number-theoretic helpers needed by the coloring algorithms:
+// primes for Linial's polynomial set systems, iterated logarithm for
+// round-bound formulas, and integer powers with overflow care.
+#pragma once
+
+#include <cstdint>
+
+namespace dgap {
+
+/// True iff `x` is prime. Deterministic trial division; inputs in this
+/// library are small (O(Δ)), so this is never a bottleneck.
+bool is_prime(std::int64_t x);
+
+/// Smallest prime >= x (x >= 2). Bertrand's postulate bounds the search.
+std::int64_t next_prime(std::int64_t x);
+
+/// floor(log2(x)) for x >= 1.
+int ilog2(std::int64_t x);
+
+/// Iterated logarithm: number of times log2 must be applied to x before the
+/// result is <= 1. log_star(1) = 0, log_star(2) = 1, log_star(16) = 3, ...
+int log_star(std::int64_t x);
+
+/// base^exp, saturating at INT64_MAX instead of overflowing.
+std::int64_t ipow_sat(std::int64_t base, int exp);
+
+/// Ceiling division for non-negative integers.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace dgap

@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking used throughout the library.
+//
+// DGAP_REQUIRE is for preconditions on public API calls: violations throw
+// std::invalid_argument so callers (tests, examples) can observe them.
+// DGAP_ASSERT is for internal invariants: violations throw std::logic_error.
+// Both stay enabled in release builds; the simulator is a correctness tool,
+// not a hot path, and silent invariant corruption would invalidate every
+// measured round count.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgap {
+
+[[noreturn]] inline void require_failed(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "DGAP_REQUIRE") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dgap
+
+#define DGAP_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dgap::require_failed("DGAP_REQUIRE", #cond, __FILE__, __LINE__,      \
+                             (msg));                                         \
+  } while (0)
+
+#define DGAP_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dgap::require_failed("DGAP_ASSERT", #cond, __FILE__, __LINE__,       \
+                             (msg));                                         \
+  } while (0)

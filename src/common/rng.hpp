@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (graph generators, prediction perturbation,
+// Luby's algorithm) flows through Rng so that every test and benchmark is
+// reproducible from a seed. The engine never uses randomness itself; the
+// simulated algorithms are deterministic unless a program explicitly draws
+// from an Rng it owns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dgap {
+
+/// xoshiro256** — small, fast, and good enough for simulation workloads.
+/// Not cryptographic. Seeded via splitmix64 so that nearby seeds give
+/// unrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using rejection sampling (bound >= 1).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw.
+  bool flip(double p);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-component / per-node use).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dgap

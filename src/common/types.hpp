@@ -1,0 +1,24 @@
+// Core scalar types shared by every dgap module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dgap {
+
+/// Node identifier. The paper's model gives every node a distinct identifier
+/// from {1, ..., d}; we use 0-based indices internally and carry `d`
+/// separately (see GraphInfo). NodeId is signed so that kNoNode is a natural
+/// sentinel.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node" (e.g., an unmatched node's output, ⊥ in the paper).
+inline constexpr NodeId kNoNode = -1;
+
+/// Output and prediction values are 64-bit words; each problem documents its
+/// encoding (MIS: 0/1; matching: partner NodeId or kNoNode; coloring: color).
+using Value = std::int64_t;
+
+inline constexpr Value kUndefined = std::numeric_limits<Value>::min();
+
+}  // namespace dgap

@@ -1,0 +1,215 @@
+#include "edgecoloring/algorithms.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+namespace {
+
+Value palette_size(const NodeContext& ctx) {
+  return std::max<Value>(1, 2 * static_cast<Value>(ctx.delta()) - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Base algorithm.
+// ---------------------------------------------------------------------------
+
+bool EdgeColoringBasePhase::proposal_legal(NodeContext& ctx, NodeId u) const {
+  const Value c = ctx.edge_prediction(u);
+  if (c < 1 || c > palette_size(ctx)) return false;
+  for (NodeId w : ctx.neighbors()) {
+    if (w != u && ctx.edge_prediction(w) == c) return false;  // not unique
+  }
+  return true;
+}
+
+void EdgeColoringBasePhase::on_send(NodeContext& ctx, Channel& ch) {
+  if (step_ == 0) {
+    for (NodeId u : ctx.neighbors()) {
+      if (proposal_legal(ctx, u)) ch.send(u, {ctx.edge_prediction(u)});
+    }
+  } else if (step_ == 1) {
+    // Palette re-synchronization round: announce output colors along the
+    // edges that stayed uncolored.
+    std::vector<Value> used;
+    for (NodeId u : ctx.neighbors()) {
+      const Value c = ctx.output_for(u);
+      if (c != kUndefined) used.push_back(c);
+    }
+    for (NodeId u : ctx.active_neighbors()) {
+      if (ctx.output_for(u) == kUndefined) ch.send(u, used);
+    }
+  }
+}
+
+PhaseProgram::Status EdgeColoringBasePhase::on_receive(NodeContext& ctx,
+                                                       Channel& ch) {
+  ++step_;
+  if (step_ == 1) {
+    if (ctx.degree() == 0) {
+      ctx.set_output(0);  // no edges to color
+      ctx.terminate();
+      return Status::kFinished;
+    }
+    for (const Message* m : ch.inbox()) {
+      if (proposal_legal(ctx, m->from) &&
+          ctx.edge_prediction(m->from) == m->words.at(0)) {
+        ctx.set_output_for(m->from, m->words.at(0));
+      }
+    }
+    bool complete = true;
+    for (NodeId u : ctx.neighbors()) {
+      if (ctx.output_for(u) == kUndefined) complete = false;
+    }
+    if (complete) {
+      ctx.terminate();
+      return Status::kFinished;
+    }
+    return Status::kRunning;
+  }
+  // Round 2 carries only the palette broadcast; the measure-uniform phase
+  // re-synchronizes anyway, so nothing to record here.
+  return Status::kFinished;
+}
+
+// ---------------------------------------------------------------------------
+// Measure-uniform greedy edge coloring.
+// ---------------------------------------------------------------------------
+
+std::vector<NodeId> GreedyEdgeColoringPhase::uncolored_neighbors(
+    const NodeContext& ctx) const {
+  std::vector<NodeId> out;
+  for (NodeId u : ctx.active_neighbors()) {
+    if (ctx.output_for(u) == kUndefined) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Value> GreedyEdgeColoringPhase::own_used_colors(
+    const NodeContext& ctx) const {
+  std::vector<Value> used;
+  for (NodeId u : ctx.neighbors()) {
+    const Value c = ctx.output_for(u);
+    if (c != kUndefined) used.push_back(c);
+  }
+  return used;
+}
+
+bool GreedyEdgeColoringPhase::all_edges_colored(const NodeContext& ctx) const {
+  for (NodeId u : ctx.neighbors()) {
+    if (ctx.output_for(u) == kUndefined) return false;
+  }
+  return true;
+}
+
+void GreedyEdgeColoringPhase::on_send(NodeContext& ctx, Channel& ch) {
+  if (step_ % 2 == 0) {
+    // Sync round: [U, uncolored co-endpoint ids..., C, used colors...].
+    std::vector<Value> words;
+    const auto unc = uncolored_neighbors(ctx);
+    words.push_back(static_cast<Value>(unc.size()));
+    for (NodeId u : unc) words.push_back(ctx.neighbor_id(u));
+    const auto used = own_used_colors(ctx);
+    words.push_back(static_cast<Value>(used.size()));
+    words.insert(words.end(), used.begin(), used.end());
+    ch.broadcast(words);
+  } else {
+    // Claim round: a node beating every identifier within two uncolored
+    // hops colors all its uncolored edges at once.
+    pending_.clear();
+    const auto unc = uncolored_neighbors(ctx);
+    if (unc.empty()) return;
+    bool winner = true;
+    for (NodeId u : unc) {
+      if (ctx.neighbor_id(u) > ctx.id()) winner = false;
+      auto it = sync_.find(u);
+      DGAP_ASSERT(it != sync_.end(), "claim round without sync data");
+      for (Value wid : it->second.uncolored_ids) {
+        if (wid > ctx.id()) winner = false;
+      }
+    }
+    if (!winner) return;
+    const auto used_now = own_used_colors(ctx);
+    std::set<Value> mine(used_now.begin(), used_now.end());
+    for (NodeId u : unc) {
+      std::set<Value> banned = mine;
+      const auto& info = sync_.at(u);
+      banned.insert(info.used_colors.begin(), info.used_colors.end());
+      Value chosen = kUndefined;
+      for (Value c = 1; c <= palette_size(ctx); ++c) {
+        if (!banned.count(c)) {
+          chosen = c;
+          break;
+        }
+      }
+      DGAP_ASSERT(chosen != kUndefined,
+                  "2Δ−1 palette always has a free color per edge");
+      mine.insert(chosen);  // distinct colors across this sweep
+      pending_.emplace_back(u, chosen);
+      ch.send(u, {chosen});
+    }
+  }
+}
+
+PhaseProgram::Status GreedyEdgeColoringPhase::on_receive(NodeContext& ctx,
+                                                         Channel& ch) {
+  const bool sync_round = (step_ % 2 == 0);
+  ++step_;
+  if (ctx.degree() == 0) {
+    ctx.set_output(0);
+    ctx.terminate();
+    return Status::kRunning;
+  }
+  if (sync_round) {
+    sync_.clear();
+    for (const Message* m : ch.inbox()) {
+      NeighborSync info;
+      std::size_t pos = 0;
+      const auto& w = m->words;
+      const auto nu = static_cast<std::size_t>(w.at(pos++));
+      for (std::size_t i = 0; i < nu; ++i) {
+        info.uncolored_ids.push_back(w.at(pos++));
+      }
+      const auto nc = static_cast<std::size_t>(w.at(pos++));
+      for (std::size_t i = 0; i < nc; ++i) {
+        info.used_colors.push_back(w.at(pos++));
+      }
+      sync_[m->from] = std::move(info);
+    }
+    if (all_edges_colored(ctx)) {
+      ctx.terminate();
+      return Status::kRunning;
+    }
+  } else {
+    for (auto [u, c] : pending_) ctx.set_output_for(u, c);
+    for (const Message* m : ch.inbox()) {
+      DGAP_ASSERT(ctx.output_for(m->from) == kUndefined,
+                  "claimed edge was already colored");
+      ctx.set_output_for(m->from, m->words.at(0));
+    }
+    if (all_edges_colored(ctx)) {
+      ctx.terminate();
+      return Status::kRunning;
+    }
+  }
+  return Status::kRunning;
+}
+
+PhaseFactory make_edge_coloring_base() {
+  return [](NodeId) { return std::make_unique<EdgeColoringBasePhase>(); };
+}
+
+PhaseFactory make_greedy_edge_coloring() {
+  return [](NodeId) { return std::make_unique<GreedyEdgeColoringPhase>(); };
+}
+
+ProgramFactory greedy_edge_coloring_algorithm() {
+  return phase_as_algorithm(make_greedy_edge_coloring());
+}
+
+}  // namespace dgap

@@ -1,0 +1,69 @@
+// (2Δ−1)-Edge Coloring building blocks (Section 8.3).
+//
+//  * EdgeColoringBasePhase   — 2 rounds: an edge is colored iff both
+//                              endpoints predicted the same legal color and
+//                              the proposal was unique at each endpoint.
+//                              Terminates fully-colored nodes after round 1
+//                              (consistency 1 when predictions are correct).
+//  * GreedyEdgeColoringPhase — the measure-uniform algorithm: groups of two
+//                              rounds (sync, claim); a node whose
+//                              identifier beats everything within two
+//                              uncolored-edge hops colors ALL its remaining
+//                              edges at once. Round complexity O(s) on an
+//                              s-node component (paper: ≤ 2s − 3; our
+//                              grouping gives ≤ 2s + 1 — each group retires
+//                              at least one node).
+//
+// The paper's clean-up for this problem only re-synchronizes palettes; our
+// greedy phase re-synchronizes at the start of every group, so no separate
+// clean-up phase is needed (see DESIGN.md).
+//
+// Degree-0 nodes have no incident edges and therefore no edge outputs; they
+// emit a scalar 0 output so that termination is well-defined.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+inline constexpr int kEdgeColoringBaseRounds = 2;
+
+class EdgeColoringBasePhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  bool proposal_legal(NodeContext& ctx, NodeId u) const;
+  int step_ = 0;
+};
+
+class GreedyEdgeColoringPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  struct NeighborSync {
+    std::vector<Value> uncolored_ids;  // their uncolored co-endpoints
+    std::vector<Value> used_colors;    // their already-output colors
+  };
+
+  std::vector<NodeId> uncolored_neighbors(const NodeContext& ctx) const;
+  std::vector<Value> own_used_colors(const NodeContext& ctx) const;
+  bool all_edges_colored(const NodeContext& ctx) const;
+
+  int step_ = 0;  // odd = sync, even = claim
+  std::unordered_map<NodeId, NeighborSync> sync_;
+  std::vector<std::pair<NodeId, Value>> pending_;  // winner's assignments
+};
+
+PhaseFactory make_edge_coloring_base();
+PhaseFactory make_greedy_edge_coloring();
+
+ProgramFactory greedy_edge_coloring_algorithm();
+
+}  // namespace dgap

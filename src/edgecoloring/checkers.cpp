@@ -1,0 +1,86 @@
+#include "edgecoloring/checkers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace dgap {
+namespace {
+
+Value color_of(const EdgeOutputs& outputs, NodeId v, NodeId u) {
+  for (const auto& [key, color] : outputs[static_cast<std::size_t>(v)]) {
+    if (key == u) return color;
+  }
+  return kUndefined;
+}
+
+}  // namespace
+
+std::string check_edge_coloring(const Graph& g, const EdgeOutputs& outputs) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one edge-output row per node");
+  const Value palette = std::max<Value>(1, 2 * g.max_degree() - 1);
+  for (auto [u, v] : g.edges()) {
+    const Value cu = color_of(outputs, u, v);
+    const Value cv = color_of(outputs, v, u);
+    if (cu == kUndefined || cv == kUndefined) {
+      std::ostringstream os;
+      os << "edge {" << u << "," << v << "} lacks a color on some side";
+      return os.str();
+    }
+    if (cu != cv) {
+      std::ostringstream os;
+      os << "edge {" << u << "," << v << "} colored " << cu << " vs " << cv;
+      return os.str();
+    }
+    if (cu < 1 || cu > palette) {
+      std::ostringstream os;
+      os << "edge {" << u << "," << v << "} color " << cu
+         << " outside palette 1.." << palette;
+      return os.str();
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& row = outputs[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        if (row[i].second == row[j].second) {
+          std::ostringstream os;
+          os << "node " << v << " repeats color " << row[i].second
+             << " on two incident edges";
+          return os.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+bool is_valid_edge_coloring(const Graph& g, const EdgeOutputs& outputs) {
+  return check_edge_coloring(g, outputs).empty();
+}
+
+bool is_proper_partial_edge_coloring(const Graph& g,
+                                     const EdgeOutputs& outputs) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one edge-output row per node");
+  const Value palette = std::max<Value>(1, 2 * g.max_degree() - 1);
+  for (auto [u, v] : g.edges()) {
+    const Value cu = color_of(outputs, u, v);
+    const Value cv = color_of(outputs, v, u);
+    if (cu != cv) return false;  // both colored the same, or both uncolored
+    if (cu != kUndefined && (cu < 1 || cu > palette)) return false;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& row = outputs[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        if (row[i].second == row[j].second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dgap

@@ -1,0 +1,31 @@
+// Validity checkers for the (2Δ−1)-Edge Coloring problem.
+//
+// Each node outputs one color per incident edge (edge-keyed outputs in the
+// simulator). A complete solution has, for every edge, the same color at
+// both endpoints, colors in {1..2Δ−1}, and all edges at a node distinct.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dgap {
+
+/// Edge outputs as produced by RunResult::edge_outputs: for node v, a
+/// sorted (neighbor index, color) list.
+using EdgeOutputs = std::vector<std::vector<std::pair<NodeId, Value>>>;
+
+std::string check_edge_coloring(const Graph& g, const EdgeOutputs& outputs);
+
+bool is_valid_edge_coloring(const Graph& g, const EdgeOutputs& outputs);
+
+/// Partial solution check (Section 8.3): colored edges must agree at both
+/// endpoints, be inside the palette, and be distinct around every node;
+/// uncolored edges must be uncolored at both endpoints.
+bool is_proper_partial_edge_coloring(const Graph& g,
+                                     const EdgeOutputs& outputs);
+
+}  // namespace dgap

@@ -1,0 +1,322 @@
+#include "edgecoloring/linegraph.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+namespace {
+
+/// Distinct line-graph identifier of the edge {a, b} (endpoint ids),
+/// in [1, (d+1)²).
+Value edge_identifier(Value a, Value b, std::int64_t d) {
+  const Value lo = std::min(a, b), hi = std::max(a, b);
+  return lo * (d + 1) + hi;
+}
+
+}  // namespace
+
+int line_graph_linial_total_rounds(std::int64_t d, int delta) {
+  const int delta_l = std::max(2 * delta - 2, 0);
+  return linial_schedule((d + 1) * (d + 1), delta_l,
+                         /*reduce_all_classes=*/true)
+      .total_rounds;
+}
+
+void LineGraphLinialPhase::ensure_schedule(NodeContext& ctx) {
+  if (scheduled_) return;
+  delta_l_ = std::max(2 * static_cast<Value>(ctx.delta()) - 2, Value{0});
+  schedule_ = linial_schedule((ctx.d() + 1) * (ctx.d() + 1),
+                              static_cast<int>(delta_l_),
+                              /*reduce_all_classes=*/true);
+  for (NodeId u : ctx.active_neighbors()) {
+    if (ctx.output_for(u) == kUndefined) {
+      edge_color_[u] =
+          delta_l_ == 0
+              ? 0
+              : edge_identifier(ctx.id(), ctx.neighbor_id(u), ctx.d()) - 1;
+    }
+  }
+  scheduled_ = true;
+}
+
+Value LineGraphLinialPhase::poly_eval(Value color, std::int64_t k,
+                                      std::int64_t q, std::int64_t x) const {
+  Value coeff[65];
+  Value c = color;
+  for (std::int64_t i = 0; i <= k; ++i) {
+    coeff[i] = c % q;
+    c /= q;
+  }
+  Value acc = 0;
+  for (std::int64_t i = k; i >= 0; --i) acc = (acc * x + coeff[i]) % q;
+  return acc;
+}
+
+Value LineGraphLinialPhase::edge_palette_color(NodeId u) const {
+  auto it = edge_color_.find(u);
+  if (it == edge_color_.end()) return kUndefined;
+  return it->second + 1;
+}
+
+void LineGraphLinialPhase::on_send(NodeContext& ctx, Channel& ch) {
+  ensure_schedule(ctx);
+  if (done_) return;
+  // [U, (co-endpoint id, color)*U, C, output colors*C]. The co-endpoint id
+  // lets the receiver identify the shared edge and the rest of the list
+  // gives the adjacent-edge constraints at this endpoint.
+  std::vector<Value> words;
+  words.push_back(static_cast<Value>(edge_color_.size()));
+  for (const auto& [u, c] : edge_color_) {
+    words.push_back(ctx.neighbor_id(u));
+    words.push_back(c);
+  }
+  std::vector<Value> used;
+  for (NodeId u : ctx.neighbors()) {
+    const Value c = ctx.output_for(u);
+    if (c != kUndefined) used.push_back(c);
+  }
+  words.push_back(static_cast<Value>(used.size()));
+  words.insert(words.end(), used.begin(), used.end());
+  ch.broadcast(words);
+}
+
+PhaseProgram::Status LineGraphLinialPhase::on_receive(NodeContext& ctx,
+                                                      Channel& ch) {
+  ensure_schedule(ctx);
+  if (done_) return Status::kFinished;
+  ++step_;
+  // Prune edges whose co-endpoint vanished (treated as crashed: its edges
+  // leave the remaining problem) and edges colored meanwhile by a
+  // concurrently running uniform algorithm (Parallel template).
+  for (auto it = edge_color_.begin(); it != edge_color_.end();) {
+    if (!ctx.neighbor_active(it->first) ||
+        ctx.output_for(it->first) != kUndefined) {
+      it = edge_color_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  neighbor_info_.clear();
+  std::map<NodeId, std::vector<Value>> neighbor_used;
+  for (const Message* m : ch.inbox()) {
+    std::size_t pos = 0;
+    const auto& w = m->words;
+    const auto cnt = static_cast<std::size_t>(w.at(pos++));
+    auto& list = neighbor_info_[m->from];
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const Value uid = w.at(pos++);
+      const Value col = w.at(pos++);
+      list.emplace_back(uid, col);
+    }
+    const auto used_cnt = static_cast<std::size_t>(w.at(pos++));
+    auto& used = neighbor_used[m->from];
+    for (std::size_t i = 0; i < used_cnt; ++i) used.push_back(w.at(pos++));
+  }
+
+  const int num_steps = static_cast<int>(schedule_.steps.size());
+  if (step_ <= num_steps) {
+    const auto [k, q] = schedule_.steps[static_cast<std::size_t>(step_ - 1)];
+    std::map<NodeId, Value> next;
+    for (const auto& [u, my_color] : edge_color_) {
+      // Adjacent edge colors: my other live edges + u's other live edges.
+      std::vector<Value> constraints;
+      for (const auto& [w, c] : edge_color_) {
+        if (w != u) constraints.push_back(c);
+      }
+      auto it = neighbor_info_.find(u);
+      if (it != neighbor_info_.end()) {
+        for (const auto& [uid, c] : it->second) {
+          if (uid != ctx.id()) constraints.push_back(c);
+        }
+      }
+      std::int64_t chosen_x = -1;
+      for (std::int64_t x = 0; x < q && chosen_x < 0; ++x) {
+        const Value mine = poly_eval(my_color, k, q, x);
+        bool ok = true;
+        for (Value c : constraints) {
+          DGAP_ASSERT(c != my_color,
+                      "line-graph Linial invariant: proper throughout");
+          if (poly_eval(c, k, q, x) == mine) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen_x = x;
+      }
+      DGAP_ASSERT(chosen_x >= 0, "q > kΔ_L guarantees a separating point");
+      next[u] = chosen_x * q + poly_eval(my_color, k, q, chosen_x);
+    }
+    edge_color_ = std::move(next);
+  } else if (step_ <= num_steps + schedule_.reduction_rounds) {
+    const Value target = schedule_.final_colors - (step_ - num_steps);
+    for (auto& [u, my_color] : edge_color_) {
+      if (my_color != target) continue;
+      std::vector<bool> used(static_cast<std::size_t>(delta_l_ + 1), false);
+      auto mark = [&](Value c) {
+        if (c >= 0 && c <= delta_l_) used[static_cast<std::size_t>(c)] = true;
+      };
+      for (const auto& [w, c] : edge_color_) {
+        if (w != u) mark(c);
+      }
+      auto it = neighbor_info_.find(u);
+      if (it != neighbor_info_.end()) {
+        for (const auto& [uid, c] : it->second) {
+          if (uid != ctx.id()) mark(c);
+        }
+      }
+      // Colors already OUTPUT on adjacent edges (palette values are
+      // 1-based; internal colors 0-based).
+      for (NodeId w : ctx.neighbors()) {
+        const Value out = ctx.output_for(w);
+        if (out != kUndefined) mark(out - 1);
+      }
+      auto itu = neighbor_used.find(u);
+      if (itu != neighbor_used.end()) {
+        for (Value out : itu->second) mark(out - 1);
+      }
+      Value fresh = -1;
+      for (Value c = 0; c <= delta_l_; ++c) {
+        if (!used[static_cast<std::size_t>(c)]) {
+          fresh = c;
+          break;
+        }
+      }
+      DGAP_ASSERT(fresh >= 0, "the 2Δ−1 palette always has a free color");
+      my_color = fresh;
+    }
+  } else {
+    for (const auto& [u, c] : edge_color_) {
+      DGAP_ASSERT(c >= 0 && c <= delta_l_,
+                  "final line-graph colors must fit the palette");
+      (void)u;
+    }
+    done_ = true;
+    return Status::kFinished;
+  }
+  return Status::kRunning;
+}
+
+PhaseProgram::Status EdgeColorEmitPhase::on_receive(NodeContext& ctx,
+                                                    Channel&) {
+  if (ctx.degree() == 0) {
+    ctx.set_output(0);
+    ctx.terminate();
+    return Status::kFinished;
+  }
+  for (NodeId u : ctx.neighbors()) {
+    if (ctx.has_output_for(u)) continue;
+    const Value c = color_(u);
+    if (c != kUndefined) ctx.set_output_for(u, c);
+  }
+  ctx.terminate();
+  return Status::kFinished;
+}
+
+void EdgeColorClassEmitPhase::on_send(NodeContext& ctx, Channel& ch) {
+  // Broadcast the colors already output on this node's edges so both
+  // endpoints of every emitting edge agree on the forbidden set.
+  std::vector<Value> words;
+  for (NodeId u : ctx.neighbors()) {
+    const Value c = ctx.output_for(u);
+    if (c != kUndefined) words.push_back(c);
+  }
+  words.insert(words.begin(), static_cast<Value>(words.size()));
+  ch.broadcast(words);
+}
+
+PhaseProgram::Status EdgeColorClassEmitPhase::on_receive(NodeContext& ctx,
+                                                         Channel& ch) {
+  ++step_;
+  if (ctx.degree() == 0) {
+    ctx.set_output(0);
+    ctx.terminate();
+    return Status::kFinished;
+  }
+  const Value palette =
+      std::max<Value>(1, 2 * static_cast<Value>(ctx.delta()) - 1);
+  std::map<NodeId, std::vector<Value>> neighbor_used;
+  for (const Message* m : ch.inbox()) {
+    const auto cnt = static_cast<std::size_t>(m->words.at(0));
+    auto& used = neighbor_used[m->from];
+    for (std::size_t i = 0; i < cnt; ++i) used.push_back(m->words.at(1 + i));
+  }
+  if (step_ <= palette) {
+    for (NodeId u : ctx.active_neighbors()) {
+      if (ctx.has_output_for(u)) continue;
+      if (color_(u) != step_) continue;
+      std::vector<bool> used(static_cast<std::size_t>(palette + 1), false);
+      auto mark = [&](Value c) {
+        if (c >= 1 && c <= palette) used[static_cast<std::size_t>(c)] = true;
+      };
+      for (NodeId w : ctx.neighbors()) mark(ctx.output_for(w));
+      auto it = neighbor_used.find(u);
+      if (it != neighbor_used.end()) {
+        for (Value c : it->second) mark(c);
+      }
+      Value fresh = kUndefined;
+      for (Value c = 1; c <= palette; ++c) {
+        if (!used[static_cast<std::size_t>(c)]) {
+          fresh = c;
+          break;
+        }
+      }
+      DGAP_ASSERT(fresh != kUndefined,
+                  "2Δ−1 exceeds the two endpoints' used colors");
+      ctx.set_output_for(u, fresh);
+    }
+  }
+  bool complete = true;
+  for (NodeId u : ctx.neighbors()) {
+    if (ctx.neighbor_active(u) && ctx.output_for(u) == kUndefined) {
+      complete = false;
+    }
+  }
+  if (complete) {
+    // Edges to terminated co-endpoints were colored before termination.
+    ctx.terminate();
+    return Status::kFinished;
+  }
+  return step_ > palette ? Status::kFinished : Status::kRunning;
+}
+
+namespace {
+
+class LineGraphEdgeColoringPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override {
+    if (emit_) {
+      emit_->on_send(ctx, ch);
+    } else {
+      part1_.on_send(ctx, ch);
+    }
+  }
+
+  Status on_receive(NodeContext& ctx, Channel& ch) override {
+    if (!emit_) {
+      if (part1_.on_receive(ctx, ch) == Status::kFinished) {
+        emit_ = std::make_unique<EdgeColorEmitPhase>(
+            [this](NodeId u) { return part1_.edge_palette_color(u); });
+      }
+      return Status::kRunning;
+    }
+    return emit_->on_receive(ctx, ch);
+  }
+
+ private:
+  LineGraphLinialPhase part1_;
+  std::unique_ptr<EdgeColorEmitPhase> emit_;
+};
+
+}  // namespace
+
+PhaseFactory make_line_graph_edge_coloring_reference() {
+  return [](NodeId) { return std::make_unique<LineGraphEdgeColoringPhase>(); };
+}
+
+ProgramFactory line_graph_edge_coloring_algorithm() {
+  return phase_as_algorithm(make_line_graph_edge_coloring_reference());
+}
+
+}  // namespace dgap

@@ -1,0 +1,109 @@
+// Linial color reduction on the LINE GRAPH: a reference algorithm for
+// (2Δ−1)-Edge Coloring.
+//
+// Section 8.3 observes that coloring the edges of G is exactly coloring
+// the vertices of its line graph L(G). L(G) has maximum degree
+// Δ_L = 2Δ − 2 and a natural identifier per edge (derived from the two
+// endpoint identifiers, bounded by (d+1)²), so Linial's reduction yields a
+// (Δ_L + 1) = (2Δ−1)-edge-coloring in O(Δ² + log* d) rounds — independent
+// of n.
+//
+// The line graph is simulated without materializing it: BOTH endpoints of
+// an edge run the edge's state machine on identical information (each
+// round every active node broadcasts the (co-endpoint id, current color)
+// list of its live incident edges), so the two copies stay in lockstep by
+// determinism. A node that terminates removes its edges from the remaining
+// problem — the phase is fault-tolerant in the Parallel-template sense.
+//
+// The final reduction stage re-examines every class and avoids colors
+// already OUTPUT on adjacent edges (the palette bookkeeping of Section
+// 8.3), so the phase correctly extends a partial edge coloring left by the
+// base algorithm.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "coloring/linial.hpp"
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+/// Round bound of the line-graph Linial phase for identifiers ≤ d and max
+/// degree Δ (pure function — usable as a template schedule).
+int line_graph_linial_total_rounds(std::int64_t d, int delta);
+
+class LineGraphLinialPhase final : public PhaseProgram {
+ public:
+  LineGraphLinialPhase() = default;
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+  bool done() const { return done_; }
+  /// Final color of the edge to live neighbor u, in {1..2Δ−1}; only
+  /// meaningful once done(). kUndefined if the edge was already colored
+  /// before the phase began (the base algorithm handled it).
+  Value edge_palette_color(NodeId u) const;
+
+ private:
+  void ensure_schedule(NodeContext& ctx);
+  Value poly_eval(Value color, std::int64_t k, std::int64_t q,
+                  std::int64_t x) const;
+
+  bool scheduled_ = false;
+  LinialSchedule schedule_;
+  Value delta_l_ = 0;  // Δ_L = max(2Δ−2, 0)
+  int step_ = 0;
+  bool done_ = false;
+  // Current internal color of each live uncolored incident edge.
+  std::map<NodeId, Value> edge_color_;
+  // Latest broadcast from each neighbor: list of (co-endpoint id, color).
+  std::map<NodeId, std::vector<std::pair<Value, Value>>> neighbor_info_;
+};
+
+/// Part 2 for edge coloring: output the stored colors (one round).
+/// Correct when no other algorithm colored edges while part 1 ran
+/// (Consecutive composition).
+class EdgeColorEmitPhase final : public PhaseProgram {
+ public:
+  using EdgeColorFn = std::function<Value(NodeId)>;
+  explicit EdgeColorEmitPhase(EdgeColorFn color) : color_(std::move(color)) {}
+
+  void on_send(NodeContext&, Channel&) override {}
+  Status on_receive(NodeContext& ctx, Channel&) override;
+
+ private:
+  EdgeColorFn color_;
+};
+
+/// Clash-repairing part 2 for edge coloring, one color class per round:
+/// in round j, the edge {u, v} whose stored color is j outputs the
+/// smallest palette color not already output on any adjacent edge. Both
+/// endpoints compute the same choice because every active node broadcasts
+/// its used-color set each round. Needed when a concurrently running
+/// uniform algorithm output edge colors during part 1 (Parallel
+/// composition); also safe to cut at any round (every prefix is a proper
+/// partial edge coloring), so it composes with persistent interleaving.
+/// 2Δ−1 rounds + 1 drain.
+class EdgeColorClassEmitPhase final : public PhaseProgram {
+ public:
+  using EdgeColorFn = std::function<Value(NodeId)>;
+  explicit EdgeColorClassEmitPhase(EdgeColorFn color)
+      : color_(std::move(color)) {}
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  EdgeColorFn color_;
+  int step_ = 0;
+};
+
+/// The full reference algorithm for (2Δ−1)-Edge Coloring: line-graph
+/// Linial followed by the emit round.
+PhaseFactory make_line_graph_edge_coloring_reference();
+
+ProgramFactory line_graph_edge_coloring_algorithm();
+
+}  // namespace dgap

@@ -1,0 +1,261 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+Graph make_line(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_ring(NodeId n) {
+  DGAP_REQUIRE(n >= 3, "a ring needs at least 3 nodes");
+  Graph g = make_line(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_clique(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_star(NodeId n) {
+  DGAP_REQUIRE(n >= 1, "a star needs at least 1 node");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_wheel_fk(NodeId k) {
+  DGAP_REQUIRE(k >= 3, "F_k needs at least 3 rim nodes");
+  Graph g(2 * k + 1);
+  const NodeId hub = 0;
+  for (NodeId i = 0; i < k; ++i) {
+    const NodeId mid = 1 + i;
+    const NodeId rim = 1 + k + i;
+    g.add_edge(hub, mid);
+    g.add_edge(mid, rim);
+  }
+  for (NodeId i = 0; i < k; ++i) {
+    const NodeId rim = 1 + k + i;
+    const NodeId next = 1 + k + (i + 1) % k;
+    g.add_edge(rim, next);
+  }
+  return g;
+}
+
+Graph make_grid(NodeId w, NodeId h) {
+  DGAP_REQUIRE(w >= 1 && h >= 1, "grid dimensions must be positive");
+  Graph g(w * h);
+  for (NodeId y = 0; y < h; ++y) {
+    for (NodeId x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_edge(grid_index(w, x, y), grid_index(w, x + 1, y));
+      if (y + 1 < h) g.add_edge(grid_index(w, x, y), grid_index(w, x, y + 1));
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(int dims) {
+  DGAP_REQUIRE(dims >= 0 && dims < 20, "hypercube dimension out of range");
+  const NodeId n = static_cast<NodeId>(1) << dims;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dims; ++b) {
+      NodeId u = v ^ (static_cast<NodeId>(1) << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph make_gnp(NodeId n, double p, Rng& rng) {
+  DGAP_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.flip(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(NodeId n, Rng& rng) {
+  DGAP_REQUIRE(n >= 1, "a tree needs at least one node");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding.
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.next_below(n));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : prufer) ++deg[x];
+  std::set<NodeId> leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[v] == 1) leaves.insert(v);
+  }
+  for (NodeId x : prufer) {
+    NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    g.add_edge(leaf, x);
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  NodeId u = *leaves.begin();
+  NodeId v = *std::next(leaves.begin());
+  g.add_edge(u, v);
+  return g;
+}
+
+Graph make_random_connected(NodeId n, std::int64_t extra_edges, Rng& rng) {
+  Graph g = make_random_tree(n, rng);
+  const std::int64_t max_extra =
+      static_cast<std::int64_t>(n) * (n - 1) / 2 - (n - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  std::int64_t added = 0;
+  while (added < extra_edges) {
+    NodeId u = static_cast<NodeId>(rng.next_below(n));
+    NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+RootedTree make_rooted_line(NodeId n) {
+  RootedTree t;
+  t.graph = make_line(n);
+  t.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId v = 1; v < n; ++v) t.parent[v] = v - 1;
+  t.root = 0;
+  return t;
+}
+
+RootedTree make_rooted_binary_tree(int height) {
+  DGAP_REQUIRE(height >= 0 && height < 22, "height out of range");
+  const NodeId n = static_cast<NodeId>((1LL << (height + 1)) - 1);
+  RootedTree t;
+  t.graph = Graph(n);
+  t.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId p = (v - 1) / 2;
+    t.graph.add_edge(p, v);
+    t.parent[v] = p;
+  }
+  t.root = 0;
+  return t;
+}
+
+RootedTree make_rooted_random_tree(NodeId n, Rng& rng) {
+  DGAP_REQUIRE(n >= 1, "a tree needs at least one node");
+  RootedTree t;
+  t.graph = Graph(n);
+  t.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId p = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    t.graph.add_edge(p, v);
+    t.parent[v] = p;
+  }
+  t.root = 0;
+  return t;
+}
+
+RootedTree make_rooted_kary_tree(int arity, int levels) {
+  DGAP_REQUIRE(arity >= 1 && levels >= 1, "arity and levels must be positive");
+  std::int64_t n64 = 0, layer = 1;
+  for (int l = 0; l < levels; ++l) {
+    n64 += layer;
+    layer *= arity;
+    DGAP_REQUIRE(n64 < (1LL << 26), "k-ary tree too large");
+  }
+  const NodeId n = static_cast<NodeId>(n64);
+  RootedTree t;
+  t.graph = Graph(n);
+  t.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  // Breadth-first layout: children of v are arity*v + 1 .. arity*v + arity.
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId p = (v - 1) / arity;
+    t.graph.add_edge(p, v);
+    t.parent[v] = p;
+  }
+  t.root = 0;
+  return t;
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  DGAP_REQUIRE(spine >= 1 && legs >= 0, "bad caterpillar parameters");
+  Graph g(spine + spine * legs);
+  for (NodeId s = 0; s + 1 < spine; ++s) g.add_edge(s, s + 1);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) g.add_edge(s, spine + s * legs + l);
+  }
+  return g;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  Graph g(a.num_nodes() + b.num_nodes());
+  std::vector<Value> ids;
+  ids.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < a.num_nodes(); ++v) ids.push_back(a.id(v));
+  for (NodeId v = 0; v < b.num_nodes(); ++v)
+    ids.push_back(a.id_bound() + b.id(v));
+  g.set_ids(std::move(ids));
+  g.set_id_bound(a.id_bound() + b.id_bound());
+  for (auto [u, v] : a.edges()) g.add_edge(u, v);
+  for (auto [u, v] : b.edges())
+    g.add_edge(a.num_nodes() + u, a.num_nodes() + v);
+  return g;
+}
+
+void randomize_ids(Graph& g, Rng& rng) {
+  std::vector<Value> ids(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(ids.begin(), ids.end(), Value{1});
+  rng.shuffle(ids);
+  g.set_ids(std::move(ids));
+  g.set_id_bound(g.num_nodes());
+}
+
+void randomize_ids_sparse(Graph& g, std::int64_t d, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  DGAP_REQUIRE(d >= n, "id domain smaller than node count");
+  // Floyd's algorithm for a distinct sample of size n from {1..d}.
+  std::set<Value> chosen;
+  for (std::int64_t j = d - n + 1; j <= d; ++j) {
+    Value t = rng.uniform(1, j);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<Value> ids(chosen.begin(), chosen.end());
+  rng.shuffle(ids);
+  g.set_ids(std::move(ids));
+  g.set_id_bound(d);
+}
+
+void sorted_ids(Graph& g) {
+  std::vector<Value> ids(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(ids.begin(), ids.end(), Value{1});
+  g.set_ids(std::move(ids));
+  g.set_id_bound(g.num_nodes());
+}
+
+}  // namespace dgap

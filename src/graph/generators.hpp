@@ -1,0 +1,99 @@
+// Graph families used across tests, examples, and benchmarks.
+//
+// These include every graph the paper mentions explicitly: lines (lower
+// bounds, Lemmas 4–5), the wheel-with-subdivided-spokes F_k of Figure 1,
+// the two-dimensional grid of Figure 2, cliques and stars (the μ2
+// discussion), rooted trees and directed lines (Section 9), plus standard
+// random families for property sweeps.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace dgap {
+
+/// A rooted tree: the underlying undirected graph plus, for every non-root
+/// node, its parent. Each node "knows whether it is the root and which of
+/// its neighbors is its parent" (Section 9.2).
+struct RootedTree {
+  Graph graph;
+  std::vector<NodeId> parent;  // parent[v], or kNoNode for the root
+  NodeId root = 0;
+};
+
+/// Path on n nodes: 0-1-2-...-(n-1).
+Graph make_line(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Graph make_ring(NodeId n);
+
+/// Complete graph K_n.
+Graph make_clique(NodeId n);
+
+/// Star with one center (node 0) and n-1 leaves.
+Graph make_star(NodeId n);
+
+/// The paper's Figure 1 graph F_k: a wheel with k rim nodes plus one extra
+/// node subdividing each spoke. Node 0 is the hub, nodes 1..k are the
+/// spoke midpoints, nodes k+1..2k are the rim (a cycle). diameter(F_k) = 4,
+/// but the subgraph induced by the rim has diameter floor(k/2).
+Graph make_wheel_fk(NodeId k);
+
+/// w × h grid; node (x, y) has index y*w + x.
+Graph make_grid(NodeId w, NodeId h);
+
+/// Node index for grid coordinates.
+inline NodeId grid_index(NodeId w, NodeId x, NodeId y) { return y * w + x; }
+
+/// Hypercube on 2^dims nodes.
+Graph make_hypercube(int dims);
+
+/// Complete bipartite graph K_{a,b}; the first a indices form one side.
+Graph make_complete_bipartite(NodeId a, NodeId b);
+
+/// Erdős–Rényi G(n, p).
+Graph make_gnp(NodeId n, double p, Rng& rng);
+
+/// Uniform random tree on n nodes (random Prüfer sequence).
+Graph make_random_tree(NodeId n, Rng& rng);
+
+/// Random connected graph: random tree plus `extra_edges` additional
+/// distinct non-tree edges (clamped to the number available).
+Graph make_random_connected(NodeId n, std::int64_t extra_edges, Rng& rng);
+
+/// Directed line rooted at node 0: parent of node i is i-1.
+RootedTree make_rooted_line(NodeId n);
+
+/// Complete binary tree of the given height (height 0 = single node).
+RootedTree make_rooted_binary_tree(int height);
+
+/// Uniform random rooted tree: each node i >= 1 picks a parent uniformly
+/// from 0..i-1 (recursive random tree).
+RootedTree make_rooted_random_tree(NodeId n, Rng& rng);
+
+/// Rooted tree where every node has exactly `arity` children, `levels`
+/// levels deep.
+RootedTree make_rooted_kary_tree(int arity, int levels);
+
+/// A "caterpillar": a spine line of length `spine` with `legs` leaves
+/// hanging off each spine node.
+Graph make_caterpillar(NodeId spine, NodeId legs);
+
+/// Disjoint union: relabels the second graph's identifiers above the
+/// first's id bound.
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Reassign identifiers to a random permutation of {1..n} (d = n).
+void randomize_ids(Graph& g, Rng& rng);
+
+/// Reassign identifiers to a random distinct subset of {1..d} (sparse ids).
+void randomize_ids_sparse(Graph& g, std::int64_t d, Rng& rng);
+
+/// Give node i identifier i+1 (increasing along internal index order).
+/// On make_line this is the Greedy-MIS worst case used by the tightness
+/// tests for Lemma 5.
+void sorted_ids(Graph& g);
+
+}  // namespace dgap

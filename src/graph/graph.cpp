@@ -1,0 +1,101 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+Graph::Graph(NodeId n) {
+  DGAP_REQUIRE(n >= 0, "graph size must be non-negative");
+  adj_.resize(static_cast<std::size_t>(n));
+  ids_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) ids_[v] = v + 1;
+  id_bound_ = n;
+}
+
+void Graph::set_id_bound(std::int64_t d) {
+  for (Value id : ids_) {
+    DGAP_REQUIRE(id <= d, "id bound below an existing identifier");
+  }
+  id_bound_ = d;
+}
+
+void Graph::set_ids(std::vector<Value> ids) {
+  DGAP_REQUIRE(ids.size() == adj_.size(), "one identifier per node");
+  std::unordered_set<Value> seen;
+  std::int64_t max_id = 0;
+  for (Value id : ids) {
+    DGAP_REQUIRE(id >= 1, "identifiers are positive");
+    DGAP_REQUIRE(seen.insert(id).second, "identifiers must be distinct");
+    max_id = std::max(max_id, id);
+  }
+  ids_ = std::move(ids);
+  id_bound_ = std::max(id_bound_, max_id);
+}
+
+void Graph::check_node(NodeId v) const {
+  DGAP_REQUIRE(v >= 0 && v < num_nodes(), "node index out of range");
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  DGAP_REQUIRE(u != v, "no self-loops in a simple graph");
+  DGAP_REQUIRE(!has_edge(u, v), "edge already present");
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (const auto& nb : adj_) d = std::max(d, static_cast<int>(nb.size()));
+  return d;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> es;
+  es.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) es.emplace_back(u, v);
+    }
+  }
+  return es;
+}
+
+std::pair<Graph, std::vector<NodeId>> Graph::induced(
+    const std::vector<NodeId>& keep) const {
+  std::vector<NodeId> old_to_new(static_cast<std::size_t>(num_nodes()), -1);
+  std::vector<NodeId> new_to_old;
+  new_to_old.reserve(keep.size());
+  for (NodeId v : keep) {
+    check_node(v);
+    DGAP_REQUIRE(old_to_new[v] == -1, "duplicate node in induced() set");
+    old_to_new[v] = static_cast<NodeId>(new_to_old.size());
+    new_to_old.push_back(v);
+  }
+  Graph sub(static_cast<NodeId>(new_to_old.size()));
+  std::vector<Value> ids;
+  ids.reserve(new_to_old.size());
+  for (NodeId old : new_to_old) ids.push_back(ids_[old]);
+  sub.set_ids(std::move(ids));
+  sub.set_id_bound(id_bound_);
+  for (NodeId nu = 0; nu < sub.num_nodes(); ++nu) {
+    for (NodeId old_nb : adj_[new_to_old[nu]]) {
+      NodeId nv = old_to_new[old_nb];
+      if (nv >= 0 && nu < nv) sub.add_edge(nu, nv);
+    }
+  }
+  return {std::move(sub), std::move(new_to_old)};
+}
+
+}  // namespace dgap

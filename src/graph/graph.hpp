@@ -1,0 +1,69 @@
+// Undirected simple graph with distinct node identifiers.
+//
+// This mirrors the paper's Section 2 model: a graph G = (V, E) where
+// V ⊆ {1, ..., d} and every node knows its own identifier and the
+// identifiers of its neighbors. Internally nodes are dense indices
+// 0..n-1; the identifier of internal node v is id(v). All distributed
+// algorithms in this library break symmetry by comparing identifiers,
+// never internal indices, so an induced subgraph (which keeps the original
+// identifiers) behaves exactly like the paper's "remaining graph".
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgap {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// n nodes, no edges; identifiers default to 1..n (so d = n).
+  explicit Graph(NodeId n);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  std::int64_t num_edges() const { return num_edges_; }
+
+  /// Upper bound on identifiers (the paper's d). At least max id.
+  std::int64_t id_bound() const { return id_bound_; }
+  void set_id_bound(std::int64_t d);
+
+  /// The identifier of internal node v (distinct across nodes, in 1..d).
+  Value id(NodeId v) const { return ids_[v]; }
+  const std::vector<Value>& ids() const { return ids_; }
+
+  /// Reassign identifiers. `ids` must be distinct positive values; the id
+  /// bound is raised to cover them if needed.
+  void set_ids(std::vector<Value> ids);
+
+  void add_edge(NodeId u, NodeId v);
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Neighbors of v, sorted by internal index.
+  const std::vector<NodeId>& neighbors(NodeId v) const { return adj_[v]; }
+  int degree(NodeId v) const { return static_cast<int>(adj_[v].size()); }
+
+  /// Maximum degree Δ over all nodes (0 for the empty graph).
+  int max_degree() const;
+
+  /// All edges as (u, v) with u < v, sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Subgraph induced by `keep` (internal indices). Identifiers and the id
+  /// bound are preserved. Returns the subgraph and the mapping from new
+  /// internal index to old internal index.
+  std::pair<Graph, std::vector<NodeId>> induced(
+      const std::vector<NodeId>& keep) const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<Value> ids_;
+  std::int64_t num_edges_ = 0;
+  std::int64_t id_bound_ = 0;
+};
+
+}  // namespace dgap

@@ -1,0 +1,141 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<NodeId> comp;
+    stack.push_back(s);
+    seen[s] = true;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (NodeId u : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return connected_components(g).size() == 1;
+}
+
+bool is_tree(const Graph& g) {
+  return is_connected(g) && g.num_edges() == g.num_nodes() - 1;
+}
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  DGAP_REQUIRE(src >= 0 && src < g.num_nodes(), "bfs source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == -1) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, NodeId src) {
+  auto dist = bfs_distances(g, src);
+  int ecc = 0;
+  for (int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  DGAP_REQUIRE(is_connected(g), "diameter requires a connected graph");
+  int diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+int degeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  int maxdeg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxdeg = std::max(maxdeg, deg[v]);
+  }
+  // Bucket-based peeling.
+  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(maxdeg + 1));
+  for (NodeId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  int degen = 0;
+  for (NodeId processed = 0; processed < n;) {
+    int b = 0;
+    while (buckets[b].empty() ||
+           removed[buckets[b].back()] ||
+           deg[buckets[b].back()] != b) {
+      if (buckets[b].empty()) {
+        ++b;
+        continue;
+      }
+      // Lazily drop stale entries.
+      NodeId v = buckets[b].back();
+      if (removed[v] || deg[v] != b) {
+        buckets[b].pop_back();
+        continue;
+      }
+      break;
+    }
+    NodeId v = buckets[b].back();
+    buckets[b].pop_back();
+    removed[v] = true;
+    ++processed;
+    degen = std::max(degen, b);
+    for (NodeId u : g.neighbors(v)) {
+      if (!removed[u]) {
+        --deg[u];
+        buckets[deg[u]].push_back(u);
+      }
+    }
+  }
+  return degen;
+}
+
+NodeId max_component_size(const Graph& g, const std::vector<bool>& keep) {
+  DGAP_REQUIRE(keep.size() == static_cast<std::size_t>(g.num_nodes()),
+               "keep mask size mismatch");
+  std::vector<NodeId> kept;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (keep[v]) kept.push_back(v);
+  }
+  auto [sub, map] = g.induced(kept);
+  NodeId best = 0;
+  for (const auto& comp : connected_components(sub)) {
+    best = std::max(best, static_cast<NodeId>(comp.size()));
+  }
+  return best;
+}
+
+}  // namespace dgap

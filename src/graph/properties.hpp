@@ -1,0 +1,41 @@
+// Structural graph properties: connectivity, components, distances.
+//
+// The error measures of Section 5 are defined as maxima of monotone
+// measures over *components* of induced subgraphs, so component extraction
+// is the workhorse here. Diameter is included because the paper discusses
+// (and rejects, via Figure 1) diameter as an error measure for general
+// graphs while using it for trees.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgap {
+
+/// Connected components as lists of internal node indices; components are
+/// ordered by smallest contained index, nodes within a component ascending.
+std::vector<std::vector<NodeId>> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True iff g is acyclic and connected.
+bool is_tree(const Graph& g);
+
+/// BFS distances from `src`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// Eccentricity of `src` within its component.
+int eccentricity(const Graph& g, NodeId src);
+
+/// Diameter of a connected graph (max over all-pairs shortest paths).
+/// Requires connectivity; use component extraction first otherwise.
+int diameter(const Graph& g);
+
+/// Degeneracy (max over subgraphs of the min degree); useful for sweeps.
+int degeneracy(const Graph& g);
+
+/// Max component size of the subgraph induced by `keep` flags.
+NodeId max_component_size(const Graph& g, const std::vector<bool>& keep);
+
+}  // namespace dgap

@@ -1,0 +1,72 @@
+// Maximal Matching building blocks (Section 8.1).
+//
+//  * MatchingBasePhase    — 2 rounds: mutually-predicted pairs match; a
+//                           ⊥-predicting node whose neighbors all matched
+//                           outputs ⊥.
+//  * MatchingInitPhase    — reasonable initialization: additionally, ANY
+//                           node whose neighbors all matched outputs ⊥
+//                           (not a pruning algorithm).
+//  * GreedyMatchingPhase  — the measure-uniform algorithm in groups of
+//                           three rounds (propose / accept / announce);
+//                           round complexity ≤ 3⌊s/2⌋ on an s-node
+//                           component.
+//  * MatchingCleanupPhase — 1 round: an active node whose terminated
+//                           neighbor output a match pointing at it adopts
+//                           the match (restores extendability after an
+//                           arbitrary cut).
+#pragma once
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+inline constexpr int kMatchingBaseRounds = 2;
+inline constexpr int kMatchingInitRounds = 2;
+inline constexpr int kMatchingCleanupRounds = 1;
+
+class MatchingBasePhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  NodeId partner_ = kNoNode;
+};
+
+class MatchingInitPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  NodeId partner_ = kNoNode;
+};
+
+class GreedyMatchingPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;           // 1-based; groups of three rounds
+  NodeId proposed_to_ = kNoNode;
+  NodeId accepted_ = kNoNode;  // the proposer we accepted
+  NodeId partner_ = kNoNode;
+};
+
+class MatchingCleanupPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+};
+
+PhaseFactory make_matching_base();
+PhaseFactory make_matching_init();
+PhaseFactory make_greedy_matching();
+PhaseFactory make_matching_cleanup();
+
+ProgramFactory greedy_matching_algorithm();
+
+}  // namespace dgap

@@ -1,0 +1,42 @@
+#include "matching/from_edge_coloring.hpp"
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+PhaseProgram::Status EdgeColorToMatchingPhase::on_receive(NodeContext& ctx,
+                                                          Channel&) {
+  ++step_;
+  if (ctx.active_neighbors().empty()) {
+    // Every neighbor has terminated (matched or ⊥); maximality is already
+    // guaranteed around this node.
+    ctx.set_output(kNoNode);
+    ctx.terminate();
+    return Status::kRunning;
+  }
+  const Value palette =
+      std::max<Value>(1, 2 * static_cast<Value>(ctx.delta()) - 1);
+  if (step_ <= palette) {
+    // Color class `step_`: at most one of my live edges carries it
+    // (proper edge coloring), and its co-endpoint runs the same rule, so
+    // both adopt the match in the same round.
+    for (NodeId u : ctx.active_neighbors()) {
+      if (edge_color_(u) == step_) {
+        ctx.set_output(ctx.neighbor_id(u));
+        ctx.terminate();
+        return Status::kRunning;
+      }
+    }
+    return Status::kRunning;
+  }
+  // Drain round: any edge between two still-unmatched nodes would have
+  // been adopted when its color class came up, so no active neighbors can
+  // remain here.
+  DGAP_ASSERT(ctx.active_neighbors().empty(),
+              "all classes processed: remaining nodes must be isolated");
+  ctx.set_output(kNoNode);
+  ctx.terminate();
+  return Status::kFinished;
+}
+
+}  // namespace dgap

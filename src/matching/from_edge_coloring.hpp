@@ -1,0 +1,34 @@
+// Maximal matching from a proper edge coloring (part 2 of a two-part
+// reference algorithm for the Maximal Matching problem).
+//
+// Given a (2Δ−1)-edge coloring of the remaining graph (computed
+// fault-tolerantly by the line-graph Linial phase), process one color
+// class per round: the edges of color i form a matching, so every edge of
+// color i whose endpoints are both still unmatched is adopted — both
+// endpoints decide symmetrically and terminate together. After all
+// 2Δ−1 classes plus one drain round, every remaining node has no active
+// neighbor and outputs ⊥. Total: 2Δ rounds, independent of n.
+#pragma once
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+class EdgeColorToMatchingPhase final : public PhaseProgram {
+ public:
+  /// `edge_color(u)` = the palette color (1..2Δ−1) of the live edge to
+  /// neighbor u, or kUndefined if that edge is not part of the remaining
+  /// problem.
+  using EdgeColorFn = std::function<Value(NodeId)>;
+  explicit EdgeColorToMatchingPhase(EdgeColorFn edge_color)
+      : edge_color_(std::move(edge_color)) {}
+
+  void on_send(NodeContext&, Channel&) override {}
+  Status on_receive(NodeContext& ctx, Channel&) override;
+
+ private:
+  EdgeColorFn edge_color_;
+  int step_ = 0;
+};
+
+}  // namespace dgap

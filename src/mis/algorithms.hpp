@@ -1,0 +1,102 @@
+// MIS building blocks (Sections 4, 6 and 7.4 of the paper).
+//
+//  * MisBasePhase          — the MIS Base Algorithm: the pruning algorithm
+//                            that defines the problem's error components.
+//  * MisInitPhase          — the MIS Initialization Algorithm (reasonable
+//                            initialization; I = prediction-1 nodes whose
+//                            prediction-1 neighbors all have smaller ids).
+//  * GreedyMisPhase        — Algorithm 1, the measure-uniform algorithm
+//                            with round complexity ≤ μ1 and ≤ μ2 + 1.
+//  * MisCleanupPhase       — the one-round clean-up algorithm.
+//  * ColorToMisPhase       — part 2 of Corollary 12's reference algorithm:
+//                            turns a proper coloring into an MIS, one color
+//                            class per round, augmented with the greedy
+//                            local-max rule so that it makes steady
+//                            progress with respect to μ2.
+//
+// All phases rely on the runtime's termination-notification convention:
+// a terminated neighbor disappears from active_neighbors() and its output
+// becomes readable the following round.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+/// Fixed round counts (used by schedules and consistency assertions).
+inline constexpr int kMisBaseRounds = 3;
+inline constexpr int kMisInitRounds = 3;
+inline constexpr int kMisCleanupRounds = 1;
+
+class MisBasePhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  bool in_set_ = false;
+};
+
+class MisInitPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;
+  bool in_set_ = false;
+};
+
+class GreedyMisPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  int step_ = 0;  // local round counter; odd = select, even = remove
+};
+
+class MisCleanupPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+};
+
+/// Part 2 of the Parallel-template reference for MIS. Consumes the color
+/// computed by part 1 via accessor callbacks (our own final color, and the
+/// final color of each neighbor as recorded during part 1).
+class ColorToMisPhase final : public PhaseProgram {
+ public:
+  using OwnColorFn = std::function<Value()>;
+  using NeighborColorFn = std::function<Value(NodeId)>;
+
+  /// `palette` = number of colors (Δ+1 for the Corollary 12 reference).
+  ColorToMisPhase(Value palette, OwnColorFn own_color,
+                  NeighborColorFn neighbor_color);
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  Value palette_;
+  OwnColorFn own_color_;
+  NeighborColorFn neighbor_color_;
+  int step_ = 0;
+};
+
+/// Factory helpers.
+PhaseFactory make_mis_base();
+PhaseFactory make_mis_init();
+PhaseFactory make_greedy_mis();
+PhaseFactory make_mis_cleanup();
+
+/// Complete algorithms (for standalone runs in tests/benches).
+
+/// Greedy MIS as an algorithm without predictions (Section 6).
+ProgramFactory greedy_mis_algorithm();
+
+}  // namespace dgap

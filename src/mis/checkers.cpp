@@ -1,0 +1,112 @@
+#include "mis/checkers.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+bool mis_output_defined(Value v) {
+  return v != kUndefined && v != kLeftoverActive;
+}
+
+std::string check_mis(const Graph& g, const std::vector<Value>& outputs) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one output per node");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!mis_output_defined(outputs[v])) {
+      std::ostringstream os;
+      os << "node " << v << " has no output";
+      return os.str();
+    }
+    if (outputs[v] != 0 && outputs[v] != 1) {
+      std::ostringstream os;
+      os << "node " << v << " output " << outputs[v] << " is not a bit";
+      return os.str();
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (outputs[v] == 1) {
+      for (NodeId u : g.neighbors(v)) {
+        if (outputs[u] == 1) {
+          std::ostringstream os;
+          os << "adjacent nodes " << v << " and " << u << " both output 1";
+          return os.str();
+        }
+      }
+    } else {
+      bool covered = false;
+      for (NodeId u : g.neighbors(v)) {
+        if (outputs[u] == 1) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        std::ostringstream os;
+        os << "node " << v << " outputs 0 but has no neighbor in the set";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+bool is_valid_mis(const Graph& g, const std::vector<Value>& outputs) {
+  return check_mis(g, outputs).empty();
+}
+
+bool is_consistent_partial_mis(const Graph& g,
+                               const std::vector<Value>& outputs) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one output per node");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!mis_output_defined(outputs[v])) continue;
+    if (outputs[v] == 1) {
+      for (NodeId u : g.neighbors(v)) {
+        if (mis_output_defined(outputs[u]) && outputs[u] == 1) return false;
+      }
+    } else if (outputs[v] == 0) {
+      bool covered = false;
+      for (NodeId u : g.neighbors(v)) {
+        if (mis_output_defined(outputs[u]) && outputs[u] == 1) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_extendable_partial_mis(const Graph& g,
+                               const std::vector<Value>& outputs) {
+  DGAP_REQUIRE(outputs.size() == static_cast<std::size_t>(g.num_nodes()),
+               "one output per node");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!mis_output_defined(outputs[v])) continue;
+    if (outputs[v] == 1) {
+      for (NodeId u : g.neighbors(v)) {
+        if (!mis_output_defined(outputs[u]) || outputs[u] != 0) return false;
+      }
+    } else if (outputs[v] == 0) {
+      bool covered = false;
+      for (NodeId u : g.neighbors(v)) {
+        if (mis_output_defined(outputs[u]) && outputs[u] == 1) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    } else {
+      return false;  // not a bit
+    }
+  }
+  return true;
+}
+
+}  // namespace dgap

@@ -1,0 +1,43 @@
+// Validity checkers for the Maximal Independent Set problem.
+//
+// MIS outputs are per-node bits: 1 = in the set, 0 = out. A *partial*
+// solution assigns outputs to a subset of nodes (kUndefined elsewhere, and
+// the simulator's kLeftoverActive marker is treated as "no output" too).
+// A partial solution is extendable (Section 3) iff every node with output 1
+// has output 0 on ALL its neighbors, and every node with output 0 has a
+// neighbor with output 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dgap {
+
+/// True iff `outputs` is a complete, correct maximal independent set.
+bool is_valid_mis(const Graph& g, const std::vector<Value>& outputs);
+
+/// Diagnostic version: returns an empty string when valid, otherwise a
+/// description of the first violation found.
+std::string check_mis(const Graph& g, const std::vector<Value>& outputs);
+
+/// True iff the (possibly partial) outputs form an extendable partial
+/// solution for MIS. Complete correct solutions are trivially extendable.
+bool is_extendable_partial_mis(const Graph& g,
+                               const std::vector<Value>& outputs);
+
+/// Weaker invariant that holds at EVERY round of every algorithm in this
+/// library (not just at phase boundaries): outputs are bits, no two
+/// adjacent nodes output 1, and every node that output 0 has a neighbor
+/// that output 1. Full extendability additionally requires each 1-node's
+/// neighbors to have all output 0, which transiently fails between a
+/// winner's round and its neighbors' response round.
+bool is_consistent_partial_mis(const Graph& g,
+                               const std::vector<Value>& outputs);
+
+/// Treats kUndefined and kLeftoverActive as "no output yet".
+bool mis_output_defined(Value v);
+
+}  // namespace dgap

@@ -1,0 +1,164 @@
+#include "mis/congest_global.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+int congest_global_stage1_rounds(NodeId n) { return n + 1; }
+int congest_global_stage2_rounds(NodeId n) { return n * n; }
+int congest_global_stage3_rounds(NodeId n) { return 2 * n + 2; }
+
+int congest_global_total_rounds(NodeId n) {
+  return congest_global_stage1_rounds(n) + congest_global_stage2_rounds(n) +
+         congest_global_stage3_rounds(n);
+}
+
+void CongestGlobalMisPhase::ensure_init(NodeContext& ctx) {
+  if (init_) return;
+  best_ = ctx.id();
+  best_dirty_ = true;
+  init_ = true;
+}
+
+void CongestGlobalMisPhase::on_send(NodeContext& ctx, Channel& ch) {
+  ensure_init(ctx);
+  const NodeId n = ctx.n();
+  const int round = step_ + 1;
+  const int b1 = congest_global_stage1_rounds(n);
+  const int b2 = congest_global_stage2_rounds(n);
+  if (round < b1) {
+    // Flood the minimum identifier (1 word, only when it improved).
+    if (best_dirty_) {
+      ch.broadcast({best_});
+      best_dirty_ = false;
+    }
+  } else if (round == b1) {
+    // Parent notification: tell the BFS parent it has this child.
+    if (parent_ != kNoNode) ch.send(parent_, {0});
+  } else if (round <= b1 + b2) {
+    // Convergecast: one 2-word record per round toward the leader.
+    if (parent_ != kNoNode && !pending_up_.empty()) {
+      auto it = pending_up_.begin();
+      ch.send(parent_, {it->first, it->second});
+      pending_up_.erase(it);
+    }
+  } else {
+    // Downcast: the leader (then every inner node) forwards one (id, bit)
+    // assignment per round to all its children.
+    if (best_ == ctx.id() && my_bit_ == kUndefined) {
+      // Leader: solve greedily by ascending identifier on the collected
+      // component before the first downcast send.
+      std::vector<Value> ids(nodes_seen_.begin(), nodes_seen_.end());
+      std::set<Value> chosen;
+      for (Value v : ids) {
+        bool blocked = false;
+        for (Value u : ids) {
+          if (chosen.count(u) &&
+              (edges_seen_.count({std::min(u, v), std::max(u, v)}) > 0) &&
+              u != v) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) chosen.insert(v);
+      }
+      for (Value v : ids) {
+        pending_down_.emplace_back(v, chosen.count(v) ? 1 : 0);
+        if (v == ctx.id()) my_bit_ = chosen.count(v) ? 1 : 0;
+      }
+      DGAP_ASSERT(my_bit_ != kUndefined, "leader must assign itself");
+    }
+    if (next_down_ < pending_down_.size()) {
+      const auto [id, bit] = pending_down_[next_down_++];
+      for (NodeId child : children_) ch.send(child, {id, bit});
+    }
+  }
+}
+
+PhaseProgram::Status CongestGlobalMisPhase::on_receive(NodeContext& ctx,
+                                                       Channel& ch) {
+  ensure_init(ctx);
+  const NodeId n = ctx.n();
+  ++step_;
+  const int round = step_;
+  const int b1 = congest_global_stage1_rounds(n);
+  const int b2 = congest_global_stage2_rounds(n);
+  const int total = congest_global_total_rounds(n);
+
+  auto absorb_record = [this](Value a, Value b) {
+    if (a == b) {
+      nodes_seen_.insert(a);
+    } else {
+      edges_seen_.insert({std::min(a, b), std::max(a, b)});
+    }
+  };
+
+  if (round < b1) {
+    for (const Message* m : ch.inbox()) {
+      const Value w = m->words.at(0);
+      if (w < best_) {
+        best_ = w;
+        parent_ = m->from;
+        best_dirty_ = true;
+      }
+    }
+  } else if (round == b1) {
+    for (const Message* m : ch.inbox()) children_.push_back(m->from);
+    // Seed the convergecast with this node's own view of the remaining
+    // graph: itself plus its incident (active) edges.
+    const bool leader = (best_ == ctx.id());
+    auto seed = [&](Value a, Value b) {
+      const auto rec = std::make_pair(std::min(a, b), std::max(a, b));
+      if (!seen_up_.insert(rec).second) return;
+      if (leader) {
+        absorb_record(rec.first, rec.second);
+      } else {
+        pending_up_.insert(rec);
+      }
+    };
+    seed(ctx.id(), ctx.id());
+    for (NodeId u : ctx.active_neighbors()) {
+      seed(ctx.id(), ctx.neighbor_id(u));
+    }
+  } else if (round <= b1 + b2) {
+    const bool leader = (best_ == ctx.id());
+    for (const Message* m : ch.inbox()) {
+      const Value a = m->words.at(0);
+      const Value b = m->words.at(1);
+      const auto rec = std::make_pair(a, b);
+      if (!seen_up_.insert(rec).second) continue;
+      if (leader) {
+        absorb_record(a, b);
+      } else {
+        pending_up_.insert(rec);
+      }
+    }
+  } else {
+    for (const Message* m : ch.inbox()) {
+      const Value id = m->words.at(0);
+      const Value bit = m->words.at(1);
+      if (id == ctx.id()) my_bit_ = bit;
+      pending_down_.emplace_back(id, bit);
+    }
+    if (round >= total) {
+      DGAP_ASSERT(my_bit_ != kUndefined,
+                  "every node must receive its assignment by schedule end");
+      ctx.set_output(my_bit_);
+      ctx.terminate();
+      return Status::kFinished;
+    }
+  }
+  return Status::kRunning;
+}
+
+PhaseFactory make_congest_global_mis() {
+  return [](NodeId) { return std::make_unique<CongestGlobalMisPhase>(); };
+}
+
+ProgramFactory congest_global_mis_algorithm() {
+  return phase_as_algorithm(make_congest_global_mis());
+}
+
+}  // namespace dgap

@@ -1,0 +1,73 @@
+// A CONGEST-model universal reference algorithm for MIS.
+//
+// The gather reference (mis/gather.hpp) ships whole adjacency lists in
+// single messages — legitimate in LOCAL, impossible in CONGEST. This is
+// its CONGEST counterpart, the classic three-stage universal protocol:
+//
+//   1. leader election (n rounds): flood the minimum identifier; the
+//      first edge over which a node's final minimum arrived becomes its
+//      parent, yielding a BFS tree per component rooted at the leader;
+//   2. convergecast (≤ n² rounds): every node reports itself and its
+//      incident edges up the tree, one 2-word record per round per edge
+//      of the tree (pipelined);
+//   3. solve + downcast (≤ 2n + 2 rounds): the leader solves MIS on the
+//      collected component (greedy by identifier) and broadcasts one
+//      (id, bit) record per round down the tree; everyone outputs at the
+//      fixed end of the schedule, so whole components decide atomically
+//      and the partial solution is always extendable.
+//
+// Every message is at most 2 words — CONGEST-compliant — at the price of
+// an O(n²) round bound (the price of universality without structure).
+// The schedule is a pure function of n, so the phase drops into the
+// Consecutive template as a reference algorithm.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+/// Exact stage budgets (all a function of n only).
+int congest_global_stage1_rounds(NodeId n);
+int congest_global_stage2_rounds(NodeId n);
+int congest_global_stage3_rounds(NodeId n);
+int congest_global_total_rounds(NodeId n);
+
+class CongestGlobalMisPhase final : public PhaseProgram {
+ public:
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  void ensure_init(NodeContext& ctx);
+  int stage(const NodeContext& ctx) const;
+
+  bool init_ = false;
+  int step_ = 0;
+
+  // Stage 1 state.
+  Value best_ = 0;
+  bool best_dirty_ = false;   // re-broadcast needed
+  NodeId parent_ = kNoNode;   // toward the leader
+  std::vector<NodeId> children_;
+
+  // Stage 2 state: records to push up; a record is (a, b) with a == b for
+  // a node record and a < b for an edge record (identifier space).
+  std::set<std::pair<Value, Value>> pending_up_;
+  std::set<std::pair<Value, Value>> seen_up_;
+  // Leader only: the collected component.
+  std::set<Value> nodes_seen_;
+  std::set<std::pair<Value, Value>> edges_seen_;
+
+  // Stage 3 state: (id, bit) assignments to push down, and my own bit.
+  std::vector<std::pair<Value, Value>> pending_down_;
+  std::size_t next_down_ = 0;
+  Value my_bit_ = kUndefined;
+};
+
+PhaseFactory make_congest_global_mis();
+ProgramFactory congest_global_mis_algorithm();
+
+}  // namespace dgap

@@ -1,0 +1,202 @@
+#include "mis/gather.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/require.hpp"
+#include "common/math_util.hpp"
+
+namespace dgap {
+
+int gather_phase_rounds(int i) {
+  DGAP_REQUIRE(i >= 0 && i < 31, "phase index out of range");
+  return 1 << i;
+}
+
+int gather_phase_count(NodeId n) {
+  // The radius must reach n - 1 >= any component diameter.
+  int m = 1;
+  while (gather_phase_rounds(m - 1) < n - 1) ++m;
+  return m;
+}
+
+int mis_gather_total_rounds(NodeId n) {
+  int total = 0;
+  const int m = gather_phase_count(n);
+  for (int i = 0; i < m; ++i) total += gather_phase_rounds(i);
+  return total;
+}
+
+MisGatherPhase::MisGatherPhase(int radius) : radius_(radius) {
+  DGAP_REQUIRE(radius >= 1, "gather radius must be positive");
+}
+
+bool MisGatherPhase::knows(Value id) const {
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), id,
+      [](const Record& r, Value want) { return r.id < want; });
+  return it != records_.end() && it->id == id;
+}
+
+void MisGatherPhase::absorb(const std::vector<Value>& words) {
+  std::size_t pos = 0;
+  while (pos < words.size()) {
+    DGAP_ASSERT(pos + 2 <= words.size(), "truncated gather record");
+    Record rec;
+    rec.id = words[pos++];
+    const auto k = static_cast<std::size_t>(words[pos++]);
+    DGAP_ASSERT(pos + k <= words.size(), "truncated gather record body");
+    rec.neighbor_ids.assign(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                            words.begin() + static_cast<std::ptrdiff_t>(pos + k));
+    pos += k;
+    if (!knows(rec.id)) {
+      fresh_.push_back(rec.id);
+      records_.insert(
+          std::lower_bound(records_.begin(), records_.end(), rec.id,
+                           [](const Record& r, Value want) {
+                             return r.id < want;
+                           }),
+          std::move(rec));
+    }
+  }
+}
+
+bool MisGatherPhase::component_closed() const {
+  for (const Record& r : records_) {
+    for (Value nb : r.neighbor_ids) {
+      if (!knows(nb)) return false;
+    }
+  }
+  return true;
+}
+
+void MisGatherPhase::decide(NodeContext& ctx) {
+  if (!component_closed()) return;
+  // Build the collected component; indices follow records_ order (by id).
+  const std::size_t k = records_.size();
+  std::vector<std::vector<std::size_t>> adj(k);
+  auto index_of = [&](Value id) {
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), id,
+        [](const Record& r, Value want) { return r.id < want; });
+    return static_cast<std::size_t>(it - records_.begin());
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    for (Value nb : records_[i].neighbor_ids) adj[i].push_back(index_of(nb));
+  }
+  // Diameter check: every node of the component must also have gathered it.
+  int diam = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    std::vector<int> dist(k, -1);
+    std::queue<std::size_t> q;
+    dist[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      std::size_t v = q.front();
+      q.pop();
+      for (std::size_t u : adj[v]) {
+        if (dist[u] == -1) {
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+    for (int dv : dist) {
+      DGAP_ASSERT(dv >= 0, "closed component must be connected");
+      diam = std::max(diam, dv);
+    }
+  }
+  if (diam > radius_) return;  // peers may not have the full picture yet
+  // Deterministic local solve: greedy MIS in ascending identifier order.
+  std::vector<bool> chosen(k, false), blocked(k, false);
+  for (std::size_t v = 0; v < k; ++v) {  // records_ sorted by id
+    if (blocked[v]) continue;
+    chosen[v] = true;
+    for (std::size_t u : adj[v]) blocked[u] = true;
+  }
+  const std::size_t self = index_of(ctx.id());
+  ctx.set_output(chosen[self] ? 1 : 0);
+  ctx.terminate();
+}
+
+void MisGatherPhase::on_send(NodeContext& ctx, Channel& ch) {
+  if (step_ == 0) {
+    // Phase start: snapshot the remaining graph's adjacency at this node.
+    Record self;
+    self.id = ctx.id();
+    for (NodeId u : ctx.active_neighbors()) {
+      self.neighbor_ids.push_back(ctx.neighbor_id(u));
+    }
+    records_.push_back(std::move(self));
+    fresh_.push_back(ctx.id());
+  }
+  if (fresh_.empty()) return;
+  std::vector<Value> words;
+  for (Value id : fresh_) {
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), id,
+        [](const Record& r, Value want) { return r.id < want; });
+    DGAP_ASSERT(it != records_.end() && it->id == id, "fresh id unknown");
+    words.push_back(it->id);
+    words.push_back(static_cast<Value>(it->neighbor_ids.size()));
+    words.insert(words.end(), it->neighbor_ids.begin(),
+                 it->neighbor_ids.end());
+  }
+  fresh_.clear();
+  ch.broadcast(words);
+}
+
+PhaseProgram::Status MisGatherPhase::on_receive(NodeContext& ctx,
+                                                Channel& ch) {
+  ++step_;
+  for (const Message* m : ch.inbox()) absorb(m->words);
+  if (step_ >= radius_) {
+    decide(ctx);
+    return Status::kFinished;
+  }
+  return Status::kRunning;
+}
+
+namespace {
+
+/// Runs gather phases with doubling radii until the node terminates.
+class FullGatherPhase final : public PhaseProgram {
+ public:
+  FullGatherPhase() : current_(std::make_unique<MisGatherPhase>(1)) {}
+
+  void on_send(NodeContext& ctx, Channel& ch) override {
+    current_->on_send(ctx, ch);
+  }
+
+  Status on_receive(NodeContext& ctx, Channel& ch) override {
+    if (current_->on_receive(ctx, ch) == Status::kFinished &&
+        !ctx.terminated()) {
+      ++phase_index_;
+      current_ =
+          std::make_unique<MisGatherPhase>(gather_phase_rounds(phase_index_));
+    }
+    return Status::kRunning;  // ends only by terminating the node
+  }
+
+ private:
+  int phase_index_ = 0;
+  std::unique_ptr<MisGatherPhase> current_;
+};
+
+}  // namespace
+
+PhaseFactory make_mis_gather_full() {
+  return [](NodeId) { return std::make_unique<FullGatherPhase>(); };
+}
+
+PhaseFactory make_mis_gather_phase(int i) {
+  return [i](NodeId) {
+    return std::make_unique<MisGatherPhase>(gather_phase_rounds(i));
+  };
+}
+
+ProgramFactory mis_gather_algorithm() {
+  return phase_as_algorithm(make_mis_gather_full());
+}
+
+}  // namespace dgap

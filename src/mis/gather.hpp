@@ -1,0 +1,68 @@
+// Doubling-radius gather-and-solve reference algorithm for MIS.
+//
+// This is the repo's stand-in for the clustering-based reference of
+// Corollary 10 (see DESIGN.md §2 for the substitution rationale). It is a
+// LOCAL-model algorithm organized in phases: in phase i every active node
+// floods adjacency records for radius 2^i rounds; a node that has collected
+// its entire remaining component — and can verify that the component's
+// diameter is at most the phase radius, so every other node in the
+// component has collected it too — solves MIS on the component locally with
+// a deterministic rule and outputs its own bit. All nodes of such a
+// component decide in the same round, so the partial solution at the end of
+// every phase is extendable (whole components are either fully decided or
+// untouched).
+//
+// Per-phase round budget: gather_phase_rounds(i) = 2^i + 1, known to every
+// node; the total bound mis_gather_total_rounds(n) — the sum until the
+// radius reaches n — is what the Consecutive template uses as r(n, Δ, d).
+#pragma once
+
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+/// Rounds of phase i (i >= 0): 2^i flooding rounds plus one decide round.
+int gather_phase_rounds(int i);
+
+/// Number of phases needed in the worst case for an n-node graph (the
+/// radius must reach n-1).
+int gather_phase_count(NodeId n);
+
+/// Worst-case total rounds of the full gather reference on n nodes.
+int mis_gather_total_rounds(NodeId n);
+
+/// One gather phase with the given radius.
+class MisGatherPhase final : public PhaseProgram {
+ public:
+  explicit MisGatherPhase(int radius);
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  struct Record {
+    Value id = 0;
+    std::vector<Value> neighbor_ids;
+  };
+
+  void absorb(const std::vector<Value>& words);
+  bool knows(Value id) const;
+  bool component_closed() const;
+  void decide(NodeContext& ctx);
+
+  int radius_;
+  int step_ = 0;
+  std::vector<Record> records_;       // sorted by id
+  std::vector<Value> fresh_;          // ids learned last round, to forward
+};
+
+/// The complete reference algorithm: phases i = 0, 1, 2, ... until solved.
+/// Every node terminates after at most mis_gather_total_rounds(n) rounds.
+PhaseFactory make_mis_gather_full();
+
+/// A single phase (radius 2^i), for the Interleaved template's schedule.
+PhaseFactory make_mis_gather_phase(int i);
+
+ProgramFactory mis_gather_algorithm();
+
+}  // namespace dgap

@@ -1,0 +1,312 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/properties.hpp"
+
+namespace dgap {
+
+// ---------------------------------------------------------------------------
+// NodeContext — thin accessor layer over Engine state.
+// ---------------------------------------------------------------------------
+
+namespace {
+Value lookup_edge_output(const std::vector<std::pair<NodeId, Value>>& table,
+                         NodeId key) {
+  auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [](const std::pair<NodeId, Value>& e, NodeId k) { return e.first < k; });
+  if (it != table.end() && it->first == key) return it->second;
+  return kUndefined;
+}
+
+void store_edge_output(std::vector<std::pair<NodeId, Value>>& table, NodeId key,
+                       Value v) {
+  auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [](const std::pair<NodeId, Value>& e, NodeId k) { return e.first < k; });
+  if (it != table.end() && it->first == key) {
+    it->second = v;
+  } else {
+    table.insert(it, {key, v});
+  }
+}
+}  // namespace
+
+Value NodeContext::id() const { return engine_->graph_.id(index_); }
+NodeId NodeContext::n() const { return engine_->graph_.num_nodes(); }
+std::int64_t NodeContext::d() const { return engine_->graph_.id_bound(); }
+int NodeContext::delta() const { return engine_->graph_.max_degree(); }
+int NodeContext::round() const { return engine_->round_; }
+
+const std::vector<NodeId>& NodeContext::neighbors() const {
+  return engine_->graph_.neighbors(index_);
+}
+
+Value NodeContext::neighbor_id(NodeId u) const {
+  DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
+  return engine_->graph_.id(u);
+}
+
+const std::vector<NodeId>& NodeContext::active_neighbors() const {
+  return engine_->nodes_[index_].active_neighbors;
+}
+
+bool NodeContext::neighbor_active(NodeId u) const {
+  const auto& an = active_neighbors();
+  return std::binary_search(an.begin(), an.end(), u);
+}
+
+Value NodeContext::neighbor_output(NodeId u) const {
+  DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
+  const auto& st = engine_->nodes_[u];
+  if (st.active) return kUndefined;  // outputs become visible on termination
+  return st.output;
+}
+
+Value NodeContext::neighbor_output_for(NodeId u, NodeId key) const {
+  DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
+  const auto& st = engine_->nodes_[u];
+  if (st.active) return kUndefined;
+  return lookup_edge_output(st.edge_outputs, key);
+}
+
+Value NodeContext::prediction() const {
+  return engine_->predictions_.node(index_);
+}
+
+Value NodeContext::edge_prediction(NodeId u) const {
+  return engine_->predictions_.edge(engine_->graph_, index_, u);
+}
+
+void NodeContext::send(NodeId to, std::vector<Value> words, int channel) {
+  DGAP_REQUIRE(engine_->in_send_phase_, "send() is only valid in onSend");
+  DGAP_REQUIRE(engine_->graph_.has_edge(index_, to),
+               "can only send to a neighbor");
+  engine_->nodes_[index_].outbox.emplace_back(
+      to, Message{index_, channel, std::move(words)});
+}
+
+void NodeContext::broadcast(const std::vector<Value>& words, int channel) {
+  for (NodeId u : active_neighbors()) {
+    send(u, words, channel);
+  }
+}
+
+const std::vector<Message>& NodeContext::inbox() const {
+  return engine_->nodes_[index_].inbox;
+}
+
+void NodeContext::set_output(Value v) {
+  DGAP_REQUIRE(v != kUndefined, "kUndefined is reserved");
+  engine_->nodes_[index_].output = v;
+}
+
+void NodeContext::set_output_for(NodeId key, Value v) {
+  DGAP_REQUIRE(v != kUndefined, "kUndefined is reserved");
+  store_edge_output(engine_->nodes_[index_].edge_outputs, key, v);
+}
+
+bool NodeContext::has_output() const {
+  return engine_->nodes_[index_].output != kUndefined;
+}
+
+bool NodeContext::has_output_for(NodeId key) const {
+  return lookup_edge_output(engine_->nodes_[index_].edge_outputs, key) !=
+         kUndefined;
+}
+
+Value NodeContext::output() const { return engine_->nodes_[index_].output; }
+
+Value NodeContext::output_for(NodeId key) const {
+  return lookup_edge_output(engine_->nodes_[index_].edge_outputs, key);
+}
+
+void NodeContext::terminate() {
+  auto& st = engine_->nodes_[index_];
+  DGAP_REQUIRE(st.output != kUndefined || !st.edge_outputs.empty(),
+               "a node terminates only after assigning its outputs");
+  st.terminate_requested = true;
+}
+
+bool NodeContext::terminated() const {
+  return engine_->nodes_[index_].terminate_requested;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
+               EngineOptions options)
+    : graph_(g), predictions_(std::move(predictions)), options_(options) {
+  DGAP_REQUIRE(factory != nullptr, "a program factory is required");
+  const NodeId n = g.num_nodes();
+  nodes_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    nodes_[v].program = factory(v);
+    DGAP_REQUIRE(nodes_[v].program != nullptr, "factory returned null");
+    nodes_[v].active_neighbors = g.neighbors(v);
+  }
+  active_count_ = n;
+}
+
+void Engine::charge_message(const Message& m) {
+  ++metrics_.total_messages;
+  // Channel tags model an extra field inside the message.
+  const int width =
+      static_cast<int>(m.words.size()) + (m.channel != 0 ? 1 : 0);
+  metrics_.total_words += width;
+  metrics_.max_message_words = std::max(metrics_.max_message_words, width);
+  if (options_.congest_word_limit > 0 && width > options_.congest_word_limit) {
+    ++metrics_.congest_violations;
+  }
+}
+
+void Engine::deliver_round_messages() {
+  for (auto& st : nodes_) st.inbox.clear();
+  for (auto& st : nodes_) {
+    for (auto& [to, msg] : st.outbox) {
+      charge_message(msg);
+      if (nodes_[to].active) {
+        nodes_[to].inbox.push_back(std::move(msg));
+      }
+    }
+    st.outbox.clear();
+  }
+  // Deterministic inbox order (by sender, then channel) regardless of the
+  // engine's iteration order — simulated algorithms must not depend on
+  // incidental arrival order.
+  for (auto& st : nodes_) {
+    std::sort(st.inbox.begin(), st.inbox.end(),
+              [](const Message& a, const Message& b) {
+                return std::tie(a.from, a.channel) <
+                       std::tie(b.from, b.channel);
+              });
+  }
+}
+
+void Engine::process_terminations(std::vector<int>& termination_round) {
+  if (options_.record_terminations) {
+    metrics_.terminations_per_round.resize(static_cast<std::size_t>(round_));
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    auto& st = nodes_[v];
+    if (!st.active || !st.terminate_requested) continue;
+    st.active = false;
+    --active_count_;
+    termination_round[v] = round_;
+    if (options_.record_terminations) {
+      metrics_.terminations_per_round.back().push_back(v);
+    }
+  }
+  // Second pass: rebuild active-neighbor views and charge the notification
+  // messages implied by the Section 7 convention (one message carrying the
+  // node's outputs to each neighbor that is still active).
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    auto& st = nodes_[v];
+    if (st.active || termination_round[v] != round_) continue;
+    for (NodeId u : graph_.neighbors(v)) {
+      if (!nodes_[u].active) continue;
+      Message notice;
+      notice.from = v;
+      notice.words.assign(
+          1 + st.edge_outputs.size(),
+          st.output == kUndefined ? Value{0} : st.output);
+      charge_message(notice);
+      auto& uan = nodes_[u].active_neighbors;
+      auto it = std::lower_bound(uan.begin(), uan.end(), v);
+      if (it != uan.end() && *it == v) uan.erase(it);
+    }
+  }
+}
+
+RunResult Engine::run() {
+  const NodeId n = graph_.num_nodes();
+  RunResult result;
+  result.termination_round.assign(static_cast<std::size_t>(n), -1);
+
+  while (active_count_ > 0 && round_ < options_.max_rounds) {
+    ++round_;
+    if (options_.record_active_per_round) {
+      metrics_.active_per_round.push_back(active_count_);
+    }
+    // Send phase.
+    in_send_phase_ = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!nodes_[v].active) continue;
+      NodeContext ctx(this, v);
+      nodes_[v].program->on_send(ctx);
+    }
+    in_send_phase_ = false;
+    deliver_round_messages();
+    // Receive / compute phase.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!nodes_[v].active) continue;
+      NodeContext ctx(this, v);
+      nodes_[v].program->on_receive(ctx);
+    }
+    process_terminations(result.termination_round);
+  }
+
+  result.completed = (active_count_ == 0);
+  result.rounds = round_;
+  result.outputs.reserve(static_cast<std::size_t>(n));
+  result.edge_outputs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    result.outputs.push_back(nodes_[v].output);
+    result.edge_outputs.push_back(nodes_[v].edge_outputs);
+  }
+  result.total_messages = metrics_.total_messages;
+  result.total_words = metrics_.total_words;
+  result.max_message_words = metrics_.max_message_words;
+  result.congest_violations = metrics_.congest_violations;
+  result.active_per_round = std::move(metrics_.active_per_round);
+  result.terminations_per_round = std::move(metrics_.terminations_per_round);
+  return result;
+}
+
+RunResult run_algorithm(const Graph& g, ProgramFactory factory,
+                        EngineOptions options) {
+  Engine engine(g, Predictions{}, std::move(factory), options);
+  return engine.run();
+}
+
+RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
+                               ProgramFactory factory, EngineOptions options) {
+  Engine engine(g, predictions, std::move(factory), options);
+  return engine.run();
+}
+
+std::vector<int> completion_round_per_component(const Graph& g,
+                                                const RunResult& result) {
+  DGAP_REQUIRE(result.termination_round.size() ==
+                   static_cast<std::size_t>(g.num_nodes()),
+               "result does not match the graph");
+  std::vector<int> out;
+  for (const auto& comp : connected_components(g)) {
+    int worst = 0;
+    for (NodeId v : comp) {
+      const int t = result.termination_round[v];
+      if (t < 0) {
+        worst = -1;
+        break;
+      }
+      worst = std::max(worst, t);
+    }
+    out.push_back(worst);
+  }
+  return out;
+}
+
+std::vector<const Message*> inbox_on_channel(const std::vector<Message>& inbox,
+                                             int channel) {
+  std::vector<const Message*> out;
+  for (const Message& m : inbox) {
+    if (m.channel == channel) out.push_back(&m);
+  }
+  return out;
+}
+
+}  // namespace dgap

@@ -1,0 +1,211 @@
+// Round-synchronous message-passing simulator (the paper's Section 2 model).
+//
+// Each round, every *active* node first sends (a possibly different message
+// to each neighbor), then receives everything sent to it this round, then
+// computes, optionally assigns output values, and optionally terminates.
+// Programs therefore implement two hooks per round, onSend and onReceive;
+// a node cannot make its round-r sends depend on its round-r inbox, exactly
+// as in the model.
+//
+// Termination convention (Section 7): "prior to terminating, nodes inform
+// their active neighbors about their output values". The engine implements
+// this convention once, for every algorithm: when a node terminates at the
+// end of round r, each still-active neighbor's view is updated for round
+// r+1 — the node disappears from active_neighbors() and its outputs become
+// readable through neighbor_output(). The notification traffic is charged
+// to the message metrics (one message per still-active neighbor, one word
+// per output value), so CONGEST accounting stays honest.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "predict/predictions.hpp"
+
+namespace dgap {
+
+/// A message delivered within a round. `channel` is a multiplexing tag used
+/// by composed algorithms (the Parallel template runs two sub-algorithms
+/// whose traffic must not be confused); it models field(s) inside the
+/// message, and its width is charged as one extra word whenever nonzero.
+struct Message {
+  NodeId from = kNoNode;  // sender's internal index
+  int channel = 0;
+  std::vector<Value> words;
+};
+
+class Engine;
+
+/// Per-node view handed to programs each round. All queries reflect the
+/// node's legitimate local knowledge: its identifier, its neighbors'
+/// identifiers, n, d, Δ (Section 2: "Each node is assumed to know its
+/// identifier and the identifiers of its neighbors, as well as the values
+/// n and d"), the predictions, the current inbox, and everything implied
+/// by the termination-notification convention.
+class NodeContext {
+ public:
+  NodeId index() const { return index_; }
+  Value id() const;
+  NodeId n() const;
+  std::int64_t d() const;
+  int delta() const;
+  int round() const;
+
+  /// All neighbors in the input graph (internal indices, ascending).
+  const std::vector<NodeId>& neighbors() const;
+  Value neighbor_id(NodeId u) const;
+  int degree() const { return static_cast<int>(neighbors().size()); }
+
+  /// Neighbors that have not terminated as of the start of this round.
+  const std::vector<NodeId>& active_neighbors() const;
+  bool neighbor_active(NodeId u) const;
+
+  /// Output of a terminated neighbor (kUndefined if it never set one, or
+  /// if u is still active).
+  Value neighbor_output(NodeId u) const;
+  /// Edge-keyed output of a terminated neighbor (for edge problems).
+  Value neighbor_output_for(NodeId u, NodeId key) const;
+
+  /// This node's prediction x_i (node-valued problems).
+  Value prediction() const;
+  /// Predicted value for the edge to neighbor u (edge-valued problems).
+  Value edge_prediction(NodeId u) const;
+
+  /// Queue a message to neighbor `to` for this round. Only valid in onSend.
+  void send(NodeId to, std::vector<Value> words, int channel = 0);
+  /// Send the same message to every active neighbor. Only valid in onSend.
+  void broadcast(const std::vector<Value>& words, int channel = 0);
+
+  /// Messages received this round. Only meaningful in onReceive.
+  const std::vector<Message>& inbox() const;
+
+  /// Assign this node's (key-0) output value.
+  void set_output(Value v);
+  /// Assign an edge-keyed output (key = neighbor index), for edge problems.
+  void set_output_for(NodeId key, Value v);
+  bool has_output() const;
+  bool has_output_for(NodeId key) const;
+  Value output() const;
+  /// This node's own edge-keyed output (kUndefined if unset).
+  Value output_for(NodeId key) const;
+
+  /// Terminate at the end of this round. Requires at least one output to
+  /// have been assigned ("immediately after node i has assigned values to
+  /// all its output variables, it terminates").
+  void terminate();
+  bool terminated() const;
+
+ private:
+  friend class Engine;
+  NodeContext(Engine* e, NodeId index) : engine_(e), index_(index) {}
+  Engine* engine_;
+  NodeId index_;
+};
+
+/// A per-node state machine. The engine owns one per node; hooks are called
+/// while the node is active.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  /// Decide this round's outgoing messages (round r sends).
+  virtual void on_send(NodeContext& ctx) = 0;
+  /// Consume this round's inbox; may set outputs and terminate.
+  virtual void on_receive(NodeContext& ctx) = 0;
+};
+
+/// Factory producing one program per node. Called once per node before
+/// round 1; programs learn their identity from the context.
+using ProgramFactory =
+    std::function<std::unique_ptr<NodeProgram>(NodeId index)>;
+
+struct EngineOptions {
+  /// Hard stop; a run that hits it is reported with completed = false.
+  int max_rounds = 1'000'000;
+  /// If > 0, messages wider than this many words are counted as CONGEST
+  /// violations (the run still proceeds; benches report the counter).
+  int congest_word_limit = 0;
+  /// Record the number of active nodes at the start of every round.
+  bool record_active_per_round = false;
+  /// Record which nodes terminated in each round (RunResult::
+  /// terminations_per_round) — a lightweight run transcript.
+  bool record_terminations = false;
+};
+
+struct RunResult {
+  bool completed = false;
+  int rounds = 0;                        // rounds until every node terminated
+  std::vector<int> termination_round;    // per node, 1-based; -1 if never
+  std::vector<Value> outputs;            // key-0 outputs (kUndefined if unset)
+  std::vector<std::vector<std::pair<NodeId, Value>>> edge_outputs;
+  std::int64_t total_messages = 0;
+  std::int64_t total_words = 0;
+  int max_message_words = 0;
+  std::int64_t congest_violations = 0;
+  std::vector<int> active_per_round;     // if requested
+  /// terminations_per_round[r-1] = nodes that terminated in round r
+  /// (only filled when EngineOptions::record_terminations is set).
+  std::vector<std::vector<NodeId>> terminations_per_round;
+};
+
+class Engine {
+ public:
+  /// The predictions object may be empty for algorithms without predictions.
+  Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
+         EngineOptions options = {});
+
+  /// Run to global termination (or max_rounds).
+  RunResult run();
+
+ private:
+  friend class NodeContext;
+
+  struct NodeState {
+    std::unique_ptr<NodeProgram> program;
+    bool active = true;
+    bool terminate_requested = false;
+    std::vector<NodeId> active_neighbors;
+    Value output = kUndefined;
+    std::vector<std::pair<NodeId, Value>> edge_outputs;  // sorted by key
+    std::vector<Message> inbox;
+    std::vector<std::pair<NodeId, Message>> outbox;  // (recipient, message)
+  };
+
+  void deliver_round_messages();
+  void process_terminations(std::vector<int>& termination_round);
+  void charge_message(const Message& m);
+
+  const Graph& graph_;
+  Predictions predictions_;
+  EngineOptions options_;
+  std::vector<NodeState> nodes_;
+  int round_ = 0;
+  bool in_send_phase_ = false;
+  NodeId active_count_ = 0;
+  RunResult metrics_;  // message counters accumulated here during the run
+};
+
+/// Convenience: run an algorithm without predictions.
+RunResult run_algorithm(const Graph& g, ProgramFactory factory,
+                        EngineOptions options = {});
+
+/// Convenience: run an algorithm with predictions.
+RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
+                               ProgramFactory factory,
+                               EngineOptions options = {});
+
+/// Messages in `inbox` with the given channel.
+std::vector<const Message*> inbox_on_channel(const std::vector<Message>& inbox,
+                                             int channel);
+
+/// Completion round of each connected component of g (max termination
+/// round over its nodes; -1 if some node never terminated). Ordered like
+/// connected_components(g). This is the quantity the Section 10 analysis
+/// maximizes over components.
+std::vector<int> completion_round_per_component(const Graph& g,
+                                                const RunResult& result);
+
+}  // namespace dgap

@@ -1,0 +1,43 @@
+#include "sim/phase.hpp"
+
+#include <utility>
+
+namespace dgap {
+
+namespace {
+
+class PhaseRunner final : public NodeProgram {
+ public:
+  PhaseRunner(std::unique_ptr<PhaseProgram> phase, Value leftover_output)
+      : phase_(std::move(phase)), leftover_output_(leftover_output) {}
+
+  void on_send(NodeContext& ctx) override {
+    Channel ch(ctx, 0);
+    phase_->on_send(ctx, ch);
+  }
+
+  void on_receive(NodeContext& ctx) override {
+    Channel ch(ctx, 0);
+    if (phase_->on_receive(ctx, ch) == PhaseProgram::Status::kFinished &&
+        !ctx.terminated()) {
+      if (!ctx.has_output()) ctx.set_output(leftover_output_);
+      ctx.terminate();
+    }
+  }
+
+ private:
+  std::unique_ptr<PhaseProgram> phase_;
+  Value leftover_output_;
+};
+
+}  // namespace
+
+ProgramFactory phase_as_algorithm(PhaseFactory factory,
+                                  Value leftover_output) {
+  return [factory = std::move(factory),
+          leftover_output](NodeId index) -> std::unique_ptr<NodeProgram> {
+    return std::make_unique<PhaseRunner>(factory(index), leftover_output);
+  };
+}
+
+}  // namespace dgap

@@ -1,0 +1,61 @@
+// MIS on rooted trees (Section 9.2).
+//
+//  * TreeMisInitPhase — the MIS Rooted Tree Initialization Algorithm
+//                       (4 rounds; 3 when predictions are correct). After
+//                       it, the components of the active subgraph are
+//                       monochromatic, so black and white components can
+//                       proceed in parallel without interference.
+//  * TreeMisUniformPhase — Algorithm 6: every odd round, fragment roots
+//                       output 1 and leaves output 1 (unless their parent
+//                       is a root); every even round, neighbors of winners
+//                       output 0. Round complexity ≤ ⌈η_t/2⌉ + O(1)
+//                       component height halves every two rounds.
+//
+// Every node knows whether it is the root and which neighbor is its parent;
+// these factories capture the rooted structure.
+#pragma once
+
+#include "graph/generators.hpp"
+#include "sim/phase.hpp"
+
+namespace dgap {
+
+inline constexpr int kTreeMisInitRounds = 4;
+
+class TreeMisInitPhase final : public PhaseProgram {
+ public:
+  explicit TreeMisInitPhase(NodeId parent) : parent_(parent) {}
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  NodeId parent_;  // internal index, or kNoNode for the root
+  int step_ = 0;
+  Value parent_prediction_ = kUndefined;
+};
+
+class TreeMisUniformPhase final : public PhaseProgram {
+ public:
+  explicit TreeMisUniformPhase(NodeId parent) : parent_(parent) {}
+
+  void on_send(NodeContext& ctx, Channel& ch) override;
+  Status on_receive(NodeContext& ctx, Channel& ch) override;
+
+ private:
+  bool parent_active(const NodeContext& ctx) const;
+  bool has_active_children(const NodeContext& ctx) const;
+
+  NodeId parent_;
+  int step_ = 0;
+  bool leaf_pending_output_one_ = false;
+};
+
+/// Factories capture the rooted structure (parent per internal index).
+PhaseFactory make_tree_mis_init(const RootedTree& tree);
+PhaseFactory make_tree_mis_uniform(const RootedTree& tree);
+
+/// Algorithm 6 as a standalone algorithm without predictions.
+ProgramFactory tree_mis_uniform_algorithm(const RootedTree& tree);
+
+}  // namespace dgap

@@ -1,0 +1,102 @@
+// The CONGEST universal MIS reference: correctness across families,
+// strict 2-word message compliance, schedule exactness, atomic
+// per-component decisions, and its use inside the Consecutive template.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/checkers.hpp"
+#include "mis/congest_global.hpp"
+#include "predict/error_measures.hpp"
+#include "predict/generators.hpp"
+#include "sim/engine.hpp"
+#include "templates/mis_with_predictions.hpp"
+
+namespace dgap {
+namespace {
+
+TEST(CongestGlobal, SolvesSmallFamilies) {
+  Rng rng(1);
+  for (auto make : {+[]() { return make_line(9); },
+                    +[]() { return make_ring(8); },
+                    +[]() { return make_clique(6); },
+                    +[]() { return make_grid(3, 4); },
+                    +[]() { return make_star(7); }}) {
+    Graph g = make();
+    randomize_ids(g, rng);
+    auto result = run_algorithm(g, congest_global_mis_algorithm());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_valid_mis(g, result.outputs)) << check_mis(g, result.outputs);
+    EXPECT_EQ(result.rounds, congest_global_total_rounds(g.num_nodes()));
+  }
+}
+
+TEST(CongestGlobal, StrictlyCongest) {
+  Rng rng(2);
+  Graph g = make_random_connected(16, 10, rng);
+  randomize_ids(g, rng);
+  EngineOptions opt;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(g, congest_global_mis_algorithm(), opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.congest_violations, 0);
+  EXPECT_LE(result.max_message_words, 2);
+}
+
+TEST(CongestGlobal, RandomSweep) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = make_gnp(12, 0.25, rng);
+    randomize_ids(g, rng);
+    auto result = run_algorithm(g, congest_global_mis_algorithm());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_valid_mis(g, result.outputs)) << check_mis(g, result.outputs);
+  }
+}
+
+TEST(CongestGlobal, WholeGraphDecidesAtScheduleEnd) {
+  Rng rng(4);
+  Graph g = make_random_connected(14, 6, rng);
+  randomize_ids(g, rng);
+  auto result = run_algorithm(g, congest_global_mis_algorithm());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.termination_round[v],
+              congest_global_total_rounds(g.num_nodes()));
+  }
+}
+
+TEST(CongestGlobal, DisconnectedComponentsElectSeparateLeaders) {
+  Graph g = disjoint_union(make_clique(5), make_ring(6));
+  auto result = run_algorithm(g, congest_global_mis_algorithm());
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_valid_mis(g, result.outputs));
+}
+
+TEST(CongestGlobal, ConsecutiveTemplateAssembly) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = make_gnp(12, 0.25, rng);
+    randomize_ids(g, rng);
+    auto correct = mis_correct_prediction(g, rng);
+    // Consistency.
+    auto rc = run_with_predictions(g, correct, mis_consecutive_congest());
+    EXPECT_TRUE(is_valid_mis(g, rc.outputs));
+    EXPECT_EQ(rc.rounds, 3);
+    // Degradation + robustness under errors.
+    auto bad = flip_bits(correct, 6, rng);
+    auto rb = run_with_predictions(g, bad, mis_consecutive_congest());
+    EXPECT_TRUE(is_valid_mis(g, rb.outputs)) << check_mis(g, rb.outputs);
+    const int e1 = eta1_mis(g, bad);
+    EXPECT_LE(rb.rounds, 2 * std::max(e1, 1) + 5);
+    // Entirely CONGEST end to end.
+    EngineOptions opt;
+    opt.congest_word_limit = 2;
+    auto strict =
+        run_with_predictions(g, bad, mis_consecutive_congest(), opt);
+    EXPECT_EQ(strict.congest_violations, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dgap

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/phase.hpp"
+
+namespace dgap {
+namespace {
+
+/// Terminates immediately with output = own identifier.
+class OutputIdProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext&) override {}
+  void on_receive(NodeContext& ctx) override {
+    ctx.set_output(ctx.id());
+    ctx.terminate();
+  }
+};
+
+TEST(Engine, SingleRoundTermination) {
+  Graph g = make_ring(5);
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<OutputIdProgram>(); });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 1);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result.outputs[v], g.id(v));
+    EXPECT_EQ(result.termination_round[v], 1);
+  }
+}
+
+/// Broadcasts its id; outputs the sum of ids received in round 1.
+class SumNeighborsProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext& ctx) override {
+    if (ctx.round() == 1) ctx.broadcast({ctx.id()});
+  }
+  void on_receive(NodeContext& ctx) override {
+    Value sum = 0;
+    for (const Message& m : ctx.inbox()) sum += m.words.at(0);
+    ctx.set_output(sum);
+    ctx.terminate();
+  }
+};
+
+TEST(Engine, MessagesDeliveredWithinTheRound) {
+  Graph g = make_line(3);  // ids 1,2,3
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<SumNeighborsProgram>(); });
+  EXPECT_EQ(result.outputs[0], 2);
+  EXPECT_EQ(result.outputs[1], 1 + 3);
+  EXPECT_EQ(result.outputs[2], 2);
+}
+
+/// Node with the largest id terminates in round 1 (output 7); the others
+/// record WHEN they first see it gone and what output they observe.
+class ObserveTerminationProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext&) override {}
+  void on_receive(NodeContext& ctx) override {
+    bool local_max = true;
+    for (NodeId u : ctx.active_neighbors()) {
+      if (ctx.neighbor_id(u) > ctx.id()) local_max = false;
+    }
+    if (ctx.round() == 1 && local_max) {
+      ctx.set_output(7);
+      ctx.terminate();
+      return;
+    }
+    for (NodeId u : ctx.neighbors()) {
+      if (!ctx.neighbor_active(u) && ctx.neighbor_output(u) == 7) {
+        // Encode the round at which the notice became visible.
+        ctx.set_output(100 + ctx.round());
+        ctx.terminate();
+        return;
+      }
+    }
+  }
+};
+
+TEST(Engine, TerminationNoticeVisibleNextRound) {
+  Graph g = make_line(3);  // ids 1-2-3; node 2 is the global max
+  EngineOptions opt;
+  opt.max_rounds = 10;  // node 0 never meets its condition; cut the run
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<ObserveTerminationProgram>(); },
+      opt);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.outputs[2], 7);
+  EXPECT_EQ(result.termination_round[2], 1);
+  // Neighbor 1 sees the notice in round 2, not round 1.
+  EXPECT_EQ(result.outputs[1], 102);
+  // Node 0 only sees node 1 (output 102 ≠ 7): it keeps waiting until the
+  // run is cut off — mark incomplete runs correctly.
+  EXPECT_FALSE(result.outputs[0] == 7);
+}
+
+/// A node that never terminates.
+class StallProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext&) override {}
+  void on_receive(NodeContext&) override {}
+};
+
+TEST(Engine, MaxRoundsCutoffReportsIncomplete) {
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.max_rounds = 10;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<StallProgram>(); }, opt);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 10);
+  EXPECT_EQ(result.termination_round[0], -1);
+}
+
+TEST(Engine, TerminateWithoutOutputThrows) {
+  class BadProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext&) override {}
+    void on_receive(NodeContext& ctx) override { ctx.terminate(); }
+  };
+  Graph g = make_line(2);
+  EXPECT_THROW(
+      run_algorithm(g, [](NodeId) { return std::make_unique<BadProgram>(); }),
+      std::invalid_argument);
+}
+
+TEST(Engine, SendOutsideSendPhaseThrows) {
+  class SendInReceiveProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext&) override {}
+    void on_receive(NodeContext& ctx) override {
+      ctx.send(ctx.neighbors().front(), {1});
+    }
+  };
+  Graph g = make_line(2);
+  EXPECT_THROW(run_algorithm(g, [](NodeId) {
+                 return std::make_unique<SendInReceiveProgram>();
+               }),
+               std::invalid_argument);
+}
+
+TEST(Engine, MessageMetricsCountWordsAndNotices) {
+  // Every node broadcasts one word in round 1, then terminates: ring of 4
+  // gives 8 messages of 1 word + 0 notices (all terminate simultaneously).
+  Graph g = make_ring(4);
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<SumNeighborsProgram>(); });
+  EXPECT_EQ(result.total_messages, 8);
+  EXPECT_EQ(result.total_words, 8);
+  EXPECT_EQ(result.max_message_words, 1);
+}
+
+TEST(Engine, CongestViolationCounting) {
+  class WidePayloadProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1) ctx.broadcast({1, 2, 3, 4, 5});
+    }
+    void on_receive(NodeContext& ctx) override {
+      ctx.set_output(0);
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(3);
+  EngineOptions opt;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<WidePayloadProgram>(); }, opt);
+  EXPECT_EQ(result.congest_violations, 4);  // 2+1+1 broadcasts of 5 words
+  EXPECT_EQ(result.max_message_words, 5);
+}
+
+TEST(Engine, ChannelsAreIsolated) {
+  // Node sends on channel 1 and channel 2; receiver counts per channel.
+  class MultiChannelProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1) {
+        ctx.broadcast({11}, 1);
+        ctx.broadcast({22}, 2);
+        ctx.broadcast({22}, 2);
+      }
+    }
+    void on_receive(NodeContext& ctx) override {
+      const auto c1 = inbox_on_channel(ctx.inbox(), 1);
+      const auto c2 = inbox_on_channel(ctx.inbox(), 2);
+      ctx.set_output(static_cast<Value>(10 * c1.size() + c2.size()));
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(2);
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<MultiChannelProgram>(); });
+  EXPECT_EQ(result.outputs[0], 12);
+  EXPECT_EQ(result.outputs[1], 12);
+}
+
+TEST(Engine, EdgeOutputsRecorded) {
+  class EdgeOutputProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext&) override {}
+    void on_receive(NodeContext& ctx) override {
+      for (NodeId u : ctx.neighbors()) {
+        ctx.set_output_for(u, ctx.id() * 100 + ctx.neighbor_id(u));
+      }
+      if (ctx.degree() == 0) ctx.set_output(0);
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(3);
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<EdgeOutputProgram>(); });
+  ASSERT_EQ(result.edge_outputs[1].size(), 2u);
+  EXPECT_EQ(result.edge_outputs[1][0].first, 0);
+  EXPECT_EQ(result.edge_outputs[1][0].second, 201);
+}
+
+TEST(Engine, ActivePerRoundRecording) {
+  Graph g = make_line(4);
+  EngineOptions opt;
+  opt.record_active_per_round = true;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<OutputIdProgram>(); }, opt);
+  ASSERT_EQ(result.active_per_round.size(), 1u);
+  EXPECT_EQ(result.active_per_round[0], 4);
+}
+
+TEST(Engine, PredictionsAccessible) {
+  class EchoPredictionProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext&) override {}
+    void on_receive(NodeContext& ctx) override {
+      ctx.set_output(ctx.prediction() * 2);
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(3);
+  Predictions pred(std::vector<Value>{5, 6, 7});
+  auto result = run_with_predictions(g, pred, [](NodeId) {
+    return std::make_unique<EchoPredictionProgram>();
+  });
+  EXPECT_EQ(result.outputs[0], 10);
+  EXPECT_EQ(result.outputs[2], 14);
+}
+
+TEST(Engine, GraphInfoExposedToNodes) {
+  class InfoProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext&) override {}
+    void on_receive(NodeContext& ctx) override {
+      ctx.set_output(ctx.n() * 1000 + ctx.delta() * 100 +
+                     static_cast<Value>(ctx.d()));
+      ctx.terminate();
+    }
+  };
+  Graph g = make_star(4);  // n=4, Δ=3, d=4
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<InfoProgram>(); });
+  EXPECT_EQ(result.outputs[0], 4000 + 300 + 4);
+}
+
+TEST(Engine, TerminationTraceRecording) {
+  Graph g = make_line(3);  // ids 1-2-3
+  EngineOptions opt;
+  opt.record_terminations = true;
+  // ObserveTerminationProgram: node 2 (max id) ends round 1, node 1
+  // follows in round 2, node 0 never does.
+  opt.max_rounds = 5;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<ObserveTerminationProgram>(); },
+      opt);
+  ASSERT_EQ(result.terminations_per_round.size(), 5u);
+  EXPECT_EQ(result.terminations_per_round[0], (std::vector<NodeId>{2}));
+  EXPECT_EQ(result.terminations_per_round[1], (std::vector<NodeId>{1}));
+  EXPECT_TRUE(result.terminations_per_round[2].empty());
+}
+
+TEST(Engine, CompletionRoundPerComponent) {
+  // Two components: a clique (max-id terminates round 1, rest round 2ish)
+  // and an isolated node (round 1). Use OutputIdProgram: everyone in
+  // round 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<OutputIdProgram>(); });
+  auto per_comp = completion_round_per_component(g, result);
+  ASSERT_EQ(per_comp.size(), 3u);
+  for (int r : per_comp) EXPECT_EQ(r, 1);
+
+  // Incomplete runs report -1 for unfinished components.
+  EngineOptions opt;
+  opt.max_rounds = 2;
+  auto stalled = run_algorithm(
+      g, [](NodeId) { return std::make_unique<StallProgram>(); }, opt);
+  auto stalled_comp = completion_round_per_component(g, stalled);
+  for (int r : stalled_comp) EXPECT_EQ(r, -1);
+}
+
+TEST(Phase, PhaseAsAlgorithmEmitsLeftoverMarker) {
+  auto factory =
+      phase_as_algorithm([](NodeId) { return std::make_unique<IdlePhase>(2); });
+  Graph g = make_line(2);
+  auto result = run_algorithm(g, factory);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_EQ(result.outputs[0], kLeftoverActive);
+}
+
+TEST(Phase, BudgetedPhaseCutsEarly) {
+  auto factory = phase_as_algorithm([](NodeId) {
+    return std::make_unique<BudgetedPhase>(std::make_unique<IdlePhase>(100),
+                                           3, /*pad_to_budget=*/false);
+  });
+  Graph g = make_line(2);
+  auto result = run_algorithm(g, factory);
+  EXPECT_EQ(result.rounds, 3);
+}
+
+TEST(Phase, BudgetedPhasePadsToBudget) {
+  auto factory = phase_as_algorithm([](NodeId) {
+    return std::make_unique<BudgetedPhase>(std::make_unique<IdlePhase>(1), 5,
+                                           /*pad_to_budget=*/true);
+  });
+  Graph g = make_line(2);
+  auto result = run_algorithm(g, factory);
+  EXPECT_EQ(result.rounds, 5);
+}
+
+TEST(Phase, SequencePhaseRunsInOrder) {
+  std::vector<std::unique_ptr<PhaseProgram>> phases;
+  phases.push_back(std::make_unique<IdlePhase>(2));
+  phases.push_back(std::make_unique<IdlePhase>(3));
+  auto seq = std::make_unique<SequencePhase>(std::move(phases));
+  // Wrap in a one-node run and count rounds.
+  Graph g(1);
+  auto raw = seq.release();
+  auto factory = phase_as_algorithm(
+      [raw](NodeId) { return std::unique_ptr<PhaseProgram>(raw); });
+  auto result = run_algorithm(g, factory);
+  EXPECT_EQ(result.rounds, 5);
+}
+
+}  // namespace
+}  // namespace dgap

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mis/checkers.hpp"
+#include "mis/gather.hpp"
+#include "sim/engine.hpp"
+
+namespace dgap {
+namespace {
+
+TEST(Gather, PhaseRoundBookkeeping) {
+  EXPECT_EQ(gather_phase_rounds(0), 1);
+  EXPECT_EQ(gather_phase_rounds(3), 8);
+  EXPECT_EQ(gather_phase_count(1), 1);
+  EXPECT_EQ(gather_phase_count(2), 1);
+  EXPECT_EQ(gather_phase_count(3), 2);   // radius must reach 2
+  EXPECT_EQ(gather_phase_count(9), 4);   // radius must reach 8
+  // Total rounds = 1 + 2 + ... + 2^{m-1}.
+  EXPECT_EQ(mis_gather_total_rounds(9), 1 + 2 + 4 + 8);
+}
+
+TEST(Gather, SolvesSmallFamilies) {
+  Rng rng(1);
+  for (auto make : {+[]() { return make_line(9); },
+                    +[]() { return make_ring(8); },
+                    +[]() { return make_clique(6); },
+                    +[]() { return make_grid(4, 4); },
+                    +[]() { return make_star(7); }}) {
+    Graph g = make();
+    randomize_ids(g, rng);
+    auto result = run_algorithm(g, mis_gather_algorithm());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_valid_mis(g, result.outputs)) << check_mis(g, result.outputs);
+    EXPECT_LE(result.rounds, mis_gather_total_rounds(g.num_nodes()));
+  }
+}
+
+TEST(Gather, RoundsTrackDiameterNotSize) {
+  // A clique of 40 nodes has diameter 1: one phase (radius 1) suffices.
+  Graph g = make_clique(40);
+  auto result = run_algorithm(g, mis_gather_algorithm());
+  EXPECT_TRUE(result.completed);
+  EXPECT_LE(result.rounds, 2);
+  // A line of 40 nodes has diameter 39: rounds grow with n.
+  Graph line = make_line(40);
+  auto lr = run_algorithm(line, mis_gather_algorithm());
+  EXPECT_TRUE(lr.completed);
+  EXPECT_GT(lr.rounds, 32);
+  EXPECT_LE(lr.rounds, mis_gather_total_rounds(40));
+}
+
+TEST(Gather, DisconnectedComponentsSolveIndependently) {
+  Graph g = disjoint_union(make_clique(5), make_line(12));
+  auto result = run_algorithm(g, mis_gather_algorithm());
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_valid_mis(g, result.outputs));
+  // The clique component terminates in phase 1, long before the line.
+  int clique_max = 0, line_min = 1 << 30;
+  for (NodeId v = 0; v < 5; ++v) {
+    clique_max = std::max(clique_max, result.termination_round[v]);
+  }
+  for (NodeId v = 5; v < 17; ++v) {
+    line_min = std::min(line_min, result.termination_round[v]);
+  }
+  EXPECT_LT(clique_max, line_min);
+}
+
+TEST(Gather, SingletonTerminatesInOneRound) {
+  Graph g(1);
+  auto result = run_algorithm(g, mis_gather_algorithm());
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_EQ(result.outputs[0], 1);
+}
+
+TEST(Gather, WholeComponentDecidesSimultaneously) {
+  Rng rng(2);
+  Graph g = make_random_connected(20, 6, rng);
+  randomize_ids(g, rng);
+  auto result = run_algorithm(g, mis_gather_algorithm());
+  EXPECT_TRUE(result.completed);
+  // All nodes of a connected graph decide in the same round (the phase in
+  // which the radius first covers the diameter).
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.termination_round[v], result.termination_round[0]);
+  }
+}
+
+TEST(Gather, RandomSweepValidity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = make_gnp(15, 0.2, rng);
+    randomize_ids(g, rng);
+    auto result = run_algorithm(g, mis_gather_algorithm());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_valid_mis(g, result.outputs)) << check_mis(g, result.outputs);
+  }
+}
+
+TEST(Gather, UsesWideMessagesOnlyInLocalModel) {
+  // Gather is a LOCAL-model algorithm: max message width grows with the
+  // component, unlike the CONGEST-friendly Greedy MIS.
+  Graph g = make_line(16);
+  EngineOptions opt;
+  opt.congest_word_limit = 4;
+  auto result = run_algorithm(g, mis_gather_algorithm(), opt);
+  EXPECT_GT(result.congest_violations, 0);
+  EXPECT_GT(result.max_message_words, 4);
+}
+
+}  // namespace
+}  // namespace dgap

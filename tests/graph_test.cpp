@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace dgap {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, DefaultIdsAreOneBased) {
+  Graph g(4);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.id(v), v + 1);
+  EXPECT_EQ(g.id_bound(), 4);
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Graph, RejectsSelfLoopAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, SetIdsValidatesDistinctness) {
+  Graph g(3);
+  EXPECT_THROW(g.set_ids({1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(g.set_ids({0, 1, 2}), std::invalid_argument);
+  g.set_ids({10, 20, 30});
+  EXPECT_EQ(g.id(2), 30);
+  EXPECT_GE(g.id_bound(), 30);
+}
+
+TEST(Graph, EdgesListSorted) {
+  Graph g = make_ring(4);
+  auto es = g.edges();
+  ASSERT_EQ(es.size(), 4u);
+  for (auto [u, v] : es) EXPECT_LT(u, v);
+}
+
+TEST(Graph, InducedSubgraphKeepsIdsAndEdges) {
+  Graph g = make_ring(5);
+  g.set_ids({10, 20, 30, 40, 50});
+  auto [sub, map] = g.induced({1, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // path 1-2-3
+  EXPECT_EQ(sub.id(0), 20);
+  EXPECT_EQ(sub.id(2), 40);
+  EXPECT_EQ(sub.id_bound(), g.id_bound());
+  EXPECT_EQ(map[0], 1);
+}
+
+TEST(Generators, Line) {
+  Graph g = make_line(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, Ring) {
+  Graph g = make_ring(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(Generators, Clique) {
+  Graph g = make_clique(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, Star) {
+  Graph g = make_star(6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.max_degree(), 5);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+// Figure 1: F_k has diameter 4, but the induced rim has diameter ⌊k/2⌋.
+TEST(Generators, WheelFkMatchesFigure1) {
+  for (NodeId k : {3, 5, 8, 12}) {
+    Graph g = make_wheel_fk(k);
+    EXPECT_EQ(g.num_nodes(), 2 * k + 1);
+    EXPECT_EQ(g.num_edges(), 3 * k);
+    // Going through the hub bounds every distance by 4 once the rim is
+    // long enough for the hub route to be the shortest.
+    if (k >= 8) {
+      EXPECT_EQ(diameter(g), 4);
+    }
+    std::vector<NodeId> rim;
+    for (NodeId i = 0; i < k; ++i) rim.push_back(1 + k + i);
+    auto [sub, map] = g.induced(rim);
+    EXPECT_EQ(diameter(sub), k / 2);
+  }
+  EXPECT_EQ(diameter(make_wheel_fk(8)), 4);
+}
+
+TEST(Generators, Grid) {
+  Graph g = make_grid(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 4 * 2);  // horizontal + vertical
+  EXPECT_EQ(diameter(g), 5);
+}
+
+TEST(Generators, Hypercube) {
+  Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, CompleteBipartite) {
+  Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Generators, GnpRespectsExtremes) {
+  Rng rng(1);
+  Graph empty = make_gnp(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0);
+  Graph full = make_gnp(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(3);
+  for (NodeId n : {1, 2, 3, 10, 50}) {
+    Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(is_tree(g)) << "n=" << n;
+  }
+}
+
+TEST(Generators, RandomConnectedHasExtraEdges) {
+  Rng rng(4);
+  Graph g = make_random_connected(20, 10, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 19 + 10);
+}
+
+TEST(Generators, RootedLineStructure) {
+  RootedTree t = make_rooted_line(5);
+  EXPECT_EQ(t.parent[0], kNoNode);
+  EXPECT_EQ(t.parent[4], 3);
+  EXPECT_TRUE(is_tree(t.graph));
+}
+
+TEST(Generators, RootedBinaryTree) {
+  RootedTree t = make_rooted_binary_tree(3);
+  EXPECT_EQ(t.graph.num_nodes(), 15);
+  EXPECT_TRUE(is_tree(t.graph));
+  EXPECT_EQ(t.parent[14], 6);
+}
+
+TEST(Generators, RootedRandomTreeParentsValid) {
+  Rng rng(5);
+  RootedTree t = make_rooted_random_tree(40, rng);
+  EXPECT_TRUE(is_tree(t.graph));
+  for (NodeId v = 1; v < 40; ++v) {
+    EXPECT_GE(t.parent[v], 0);
+    EXPECT_LT(t.parent[v], v);
+    EXPECT_TRUE(t.graph.has_edge(v, t.parent[v]));
+  }
+}
+
+TEST(Generators, RootedKaryTree) {
+  RootedTree t = make_rooted_kary_tree(3, 3);
+  EXPECT_EQ(t.graph.num_nodes(), 1 + 3 + 9);
+  EXPECT_TRUE(is_tree(t.graph));
+}
+
+TEST(Generators, Caterpillar) {
+  Graph g = make_caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, DisjointUnionKeepsBothSidesAndDistinctIds) {
+  Graph a = make_line(3), b = make_ring(4);
+  Graph u = disjoint_union(a, b);
+  EXPECT_EQ(u.num_nodes(), 7);
+  EXPECT_EQ(u.num_edges(), 2 + 4);
+  std::set<Value> ids(u.ids().begin(), u.ids().end());
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_EQ(connected_components(u).size(), 2u);
+}
+
+TEST(Generators, RandomizeIdsIsPermutation) {
+  Rng rng(6);
+  Graph g = make_line(10);
+  randomize_ids(g, rng);
+  std::set<Value> ids(g.ids().begin(), g.ids().end());
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 10);
+}
+
+TEST(Generators, SparseIdsWithinDomain) {
+  Rng rng(7);
+  Graph g = make_line(10);
+  randomize_ids_sparse(g, 1000, rng);
+  std::set<Value> ids(g.ids().begin(), g.ids().end());
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_GE(*ids.begin(), 1);
+  EXPECT_LE(*ids.rbegin(), 1000);
+  EXPECT_EQ(g.id_bound(), 1000);
+}
+
+TEST(Properties, ConnectedComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(comps[2], (std::vector<NodeId>{5}));
+}
+
+TEST(Properties, BfsDistances) {
+  Graph g = make_line(5);
+  auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[4], 4);
+  Graph h(3);
+  h.add_edge(0, 1);
+  auto d2 = bfs_distances(h, 0);
+  EXPECT_EQ(d2[2], -1);
+}
+
+TEST(Properties, Degeneracy) {
+  EXPECT_EQ(degeneracy(make_line(10)), 1);
+  EXPECT_EQ(degeneracy(make_ring(10)), 2);
+  EXPECT_EQ(degeneracy(make_clique(5)), 4);
+  EXPECT_EQ(degeneracy(make_grid(5, 5)), 2);
+  EXPECT_EQ(degeneracy(make_star(10)), 1);
+}
+
+TEST(Properties, MaxComponentSize) {
+  Graph g = make_line(10);
+  std::vector<bool> keep(10, true);
+  keep[3] = false;
+  EXPECT_EQ(max_component_size(g, keep), 6);
+}
+
+}  // namespace
+}  // namespace dgap
