@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consecutive.dir/bench_consecutive.cpp.o"
+  "CMakeFiles/bench_consecutive.dir/bench_consecutive.cpp.o.d"
+  "bench_consecutive"
+  "bench_consecutive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consecutive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

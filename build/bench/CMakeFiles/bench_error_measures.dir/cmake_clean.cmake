@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_measures.dir/bench_error_measures.cpp.o"
+  "CMakeFiles/bench_error_measures.dir/bench_error_measures.cpp.o.d"
+  "bench_error_measures"
+  "bench_error_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_mis.dir/bench_greedy_mis.cpp.o"
+  "CMakeFiles/bench_greedy_mis.dir/bench_greedy_mis.cpp.o.d"
+  "bench_greedy_mis"
+  "bench_greedy_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_luby.dir/bench_luby.cpp.o"
+  "CMakeFiles/bench_luby.dir/bench_luby.cpp.o.d"
+  "bench_luby"
+  "bench_luby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_luby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_problems.dir/bench_other_problems.cpp.o"
+  "CMakeFiles/bench_other_problems.dir/bench_other_problems.cpp.o.d"
+  "bench_other_problems"
+  "bench_other_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simple_template.dir/bench_simple_template.cpp.o"
+  "CMakeFiles/bench_simple_template.dir/bench_simple_template.cpp.o.d"
+  "bench_simple_template"
+  "bench_simple_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simple_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

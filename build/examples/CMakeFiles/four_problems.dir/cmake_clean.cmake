@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_problems.dir/four_problems.cpp.o"
+  "CMakeFiles/four_problems.dir/four_problems.cpp.o.d"
+  "four_problems"
+  "four_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_blackwhite.dir/grid_blackwhite.cpp.o"
+  "CMakeFiles/grid_blackwhite.dir/grid_blackwhite.cpp.o.d"
+  "grid_blackwhite"
+  "grid_blackwhite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_blackwhite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_verify.dir/local_verify.cpp.o"
+  "CMakeFiles/local_verify.dir/local_verify.cpp.o.d"
+  "local_verify"
+  "local_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

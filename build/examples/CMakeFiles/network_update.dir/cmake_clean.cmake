@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_update.dir/network_update.cpp.o"
+  "CMakeFiles/network_update.dir/network_update.cpp.o.d"
+  "network_update"
+  "network_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_mis.dir/tree_mis.cpp.o"
+  "CMakeFiles/tree_mis.dir/tree_mis.cpp.o.d"
+  "tree_mis"
+  "tree_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

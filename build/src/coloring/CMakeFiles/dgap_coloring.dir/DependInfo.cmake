@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/algorithms.cpp" "src/coloring/CMakeFiles/dgap_coloring.dir/algorithms.cpp.o" "gcc" "src/coloring/CMakeFiles/dgap_coloring.dir/algorithms.cpp.o.d"
+  "/root/repo/src/coloring/checkers.cpp" "src/coloring/CMakeFiles/dgap_coloring.dir/checkers.cpp.o" "gcc" "src/coloring/CMakeFiles/dgap_coloring.dir/checkers.cpp.o.d"
+  "/root/repo/src/coloring/linial.cpp" "src/coloring/CMakeFiles/dgap_coloring.dir/linial.cpp.o" "gcc" "src/coloring/CMakeFiles/dgap_coloring.dir/linial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dgap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/dgap_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dgap_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

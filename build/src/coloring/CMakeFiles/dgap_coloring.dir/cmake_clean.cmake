@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_coloring.dir/algorithms.cpp.o"
+  "CMakeFiles/dgap_coloring.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgap_coloring.dir/checkers.cpp.o"
+  "CMakeFiles/dgap_coloring.dir/checkers.cpp.o.d"
+  "CMakeFiles/dgap_coloring.dir/linial.cpp.o"
+  "CMakeFiles/dgap_coloring.dir/linial.cpp.o.d"
+  "libdgap_coloring.a"
+  "libdgap_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

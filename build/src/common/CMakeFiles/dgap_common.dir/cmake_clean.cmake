@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_common.dir/math_util.cpp.o"
+  "CMakeFiles/dgap_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/dgap_common.dir/rng.cpp.o"
+  "CMakeFiles/dgap_common.dir/rng.cpp.o.d"
+  "libdgap_common.a"
+  "libdgap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

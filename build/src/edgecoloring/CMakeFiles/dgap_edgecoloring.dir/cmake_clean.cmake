@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_edgecoloring.dir/algorithms.cpp.o"
+  "CMakeFiles/dgap_edgecoloring.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgap_edgecoloring.dir/checkers.cpp.o"
+  "CMakeFiles/dgap_edgecoloring.dir/checkers.cpp.o.d"
+  "CMakeFiles/dgap_edgecoloring.dir/linegraph.cpp.o"
+  "CMakeFiles/dgap_edgecoloring.dir/linegraph.cpp.o.d"
+  "libdgap_edgecoloring.a"
+  "libdgap_edgecoloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_edgecoloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

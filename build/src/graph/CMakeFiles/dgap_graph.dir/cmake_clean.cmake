@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_graph.dir/exact.cpp.o"
+  "CMakeFiles/dgap_graph.dir/exact.cpp.o.d"
+  "CMakeFiles/dgap_graph.dir/generators.cpp.o"
+  "CMakeFiles/dgap_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dgap_graph.dir/graph.cpp.o"
+  "CMakeFiles/dgap_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dgap_graph.dir/properties.cpp.o"
+  "CMakeFiles/dgap_graph.dir/properties.cpp.o.d"
+  "libdgap_graph.a"
+  "libdgap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

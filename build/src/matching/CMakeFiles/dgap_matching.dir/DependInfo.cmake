@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/algorithms.cpp" "src/matching/CMakeFiles/dgap_matching.dir/algorithms.cpp.o" "gcc" "src/matching/CMakeFiles/dgap_matching.dir/algorithms.cpp.o.d"
+  "/root/repo/src/matching/checkers.cpp" "src/matching/CMakeFiles/dgap_matching.dir/checkers.cpp.o" "gcc" "src/matching/CMakeFiles/dgap_matching.dir/checkers.cpp.o.d"
+  "/root/repo/src/matching/from_edge_coloring.cpp" "src/matching/CMakeFiles/dgap_matching.dir/from_edge_coloring.cpp.o" "gcc" "src/matching/CMakeFiles/dgap_matching.dir/from_edge_coloring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dgap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dgap_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_matching.dir/algorithms.cpp.o"
+  "CMakeFiles/dgap_matching.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgap_matching.dir/checkers.cpp.o"
+  "CMakeFiles/dgap_matching.dir/checkers.cpp.o.d"
+  "CMakeFiles/dgap_matching.dir/from_edge_coloring.cpp.o"
+  "CMakeFiles/dgap_matching.dir/from_edge_coloring.cpp.o.d"
+  "libdgap_matching.a"
+  "libdgap_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

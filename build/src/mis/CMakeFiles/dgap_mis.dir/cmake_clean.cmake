@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_mis.dir/algorithms.cpp.o"
+  "CMakeFiles/dgap_mis.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgap_mis.dir/checkers.cpp.o"
+  "CMakeFiles/dgap_mis.dir/checkers.cpp.o.d"
+  "CMakeFiles/dgap_mis.dir/congest_global.cpp.o"
+  "CMakeFiles/dgap_mis.dir/congest_global.cpp.o.d"
+  "CMakeFiles/dgap_mis.dir/gather.cpp.o"
+  "CMakeFiles/dgap_mis.dir/gather.cpp.o.d"
+  "libdgap_mis.a"
+  "libdgap_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_predict.dir/error_measures.cpp.o"
+  "CMakeFiles/dgap_predict.dir/error_measures.cpp.o.d"
+  "CMakeFiles/dgap_predict.dir/generators.cpp.o"
+  "CMakeFiles/dgap_predict.dir/generators.cpp.o.d"
+  "CMakeFiles/dgap_predict.dir/predictions.cpp.o"
+  "CMakeFiles/dgap_predict.dir/predictions.cpp.o.d"
+  "libdgap_predict.a"
+  "libdgap_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_random.dir/luby.cpp.o"
+  "CMakeFiles/dgap_random.dir/luby.cpp.o.d"
+  "libdgap_random.a"
+  "libdgap_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_sim.dir/engine.cpp.o"
+  "CMakeFiles/dgap_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dgap_sim.dir/phase.cpp.o"
+  "CMakeFiles/dgap_sim.dir/phase.cpp.o.d"
+  "libdgap_sim.a"
+  "libdgap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

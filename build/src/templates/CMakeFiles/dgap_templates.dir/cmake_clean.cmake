@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_templates.dir/mis_with_predictions.cpp.o"
+  "CMakeFiles/dgap_templates.dir/mis_with_predictions.cpp.o.d"
+  "CMakeFiles/dgap_templates.dir/problems_with_predictions.cpp.o"
+  "CMakeFiles/dgap_templates.dir/problems_with_predictions.cpp.o.d"
+  "CMakeFiles/dgap_templates.dir/templates.cpp.o"
+  "CMakeFiles/dgap_templates.dir/templates.cpp.o.d"
+  "libdgap_templates.a"
+  "libdgap_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

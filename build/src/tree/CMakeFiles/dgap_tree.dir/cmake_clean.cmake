@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_tree.dir/algorithms.cpp.o"
+  "CMakeFiles/dgap_tree.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgap_tree.dir/gps.cpp.o"
+  "CMakeFiles/dgap_tree.dir/gps.cpp.o.d"
+  "libdgap_tree.a"
+  "libdgap_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

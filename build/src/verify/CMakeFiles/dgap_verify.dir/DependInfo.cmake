@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/local_verifier.cpp" "src/verify/CMakeFiles/dgap_verify.dir/local_verifier.cpp.o" "gcc" "src/verify/CMakeFiles/dgap_verify.dir/local_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dgap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dgap_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

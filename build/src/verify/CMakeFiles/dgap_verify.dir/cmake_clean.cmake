@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgap_verify.dir/local_verifier.cpp.o"
+  "CMakeFiles/dgap_verify.dir/local_verifier.cpp.o.d"
+  "libdgap_verify.a"
+  "libdgap_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgap_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgap_verify.a"
+)

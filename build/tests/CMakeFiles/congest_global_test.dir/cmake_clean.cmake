@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_global_test.dir/congest_global_test.cpp.o"
+  "CMakeFiles/congest_global_test.dir/congest_global_test.cpp.o.d"
+  "congest_global_test"
+  "congest_global_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_global_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgecoloring_test.dir/edgecoloring_test.cpp.o"
+  "CMakeFiles/edgecoloring_test.dir/edgecoloring_test.cpp.o.d"
+  "edgecoloring_test"
+  "edgecoloring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgecoloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

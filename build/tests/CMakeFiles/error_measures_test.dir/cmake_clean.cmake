@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_measures_test.dir/error_measures_test.cpp.o"
+  "CMakeFiles/error_measures_test.dir/error_measures_test.cpp.o.d"
+  "error_measures_test"
+  "error_measures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

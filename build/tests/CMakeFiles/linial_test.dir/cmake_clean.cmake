@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linial_test.dir/linial_test.cpp.o"
+  "CMakeFiles/linial_test.dir/linial_test.cpp.o.d"
+  "linial_test"
+  "linial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luby_test.dir/luby_test.cpp.o"
+  "CMakeFiles/luby_test.dir/luby_test.cpp.o.d"
+  "luby_test"
+  "luby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_algorithms_test.dir/mis_algorithms_test.cpp.o"
+  "CMakeFiles/mis_algorithms_test.dir/mis_algorithms_test.cpp.o.d"
+  "mis_algorithms_test"
+  "mis_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_templates_test.dir/other_templates_test.cpp.o"
+  "CMakeFiles/other_templates_test.dir/other_templates_test.cpp.o.d"
+  "other_templates_test"
+  "other_templates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_templates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_bounds_test.dir/paper_bounds_test.cpp.o"
+  "CMakeFiles/paper_bounds_test.dir/paper_bounds_test.cpp.o.d"
+  "paper_bounds_test"
+  "paper_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

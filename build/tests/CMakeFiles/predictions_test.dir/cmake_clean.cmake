@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictions_test.dir/predictions_test.cpp.o"
+  "CMakeFiles/predictions_test.dir/predictions_test.cpp.o.d"
+  "predictions_test"
+  "predictions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/verify_test.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/verify_test.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dgap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dgap_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/dgap_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/coloring/CMakeFiles/dgap_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/dgap_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/edgecoloring/CMakeFiles/dgap_edgecoloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/dgap_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/templates/CMakeFiles/dgap_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/dgap_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/dgap_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
