@@ -1,0 +1,180 @@
+// Engine throughput benchmark — the simulator's own data plane, not any
+// paper experiment. Sweeps n on GNP / grid / ring topologies under two MIS
+// workloads with opposite cost profiles:
+//   * Luby: few rounds, message-heavy (every active node broadcasts) —
+//     stresses payload allocation and delivery;
+//   * Greedy on ascending ring identifiers: Theta(n) rounds with a shrinking
+//     active frontier — stresses per-round fixed costs (active worklist).
+// Reports wall ms, rounds/sec and messages/sec per case; `--json` also
+// writes BENCH_engine.json so the perf trajectory is tracked across PRs.
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/algorithms.hpp"
+#include "random/luby.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dgap;
+using namespace dgap::benchutil;
+
+struct CaseResult {
+  double wall_ms = 0;
+  int rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t peak_arena_bytes = 0;
+  bool completed = false;
+};
+
+/// Runs the workload `reps` times and keeps the best (min) wall time —
+/// the usual noise-robust choice for throughput tracking.
+CaseResult run_case(const Graph& g, const std::function<ProgramFactory()>& make,
+                    int reps, int num_threads) {
+  CaseResult best;
+  for (int r = 0; r < reps; ++r) {
+    EngineOptions opt;
+    opt.num_threads = num_threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = run_algorithm(g, make(), opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best.wall_ms) {
+      best.wall_ms = ms;
+      best.rounds = result.rounds;
+      best.messages = result.total_messages;
+      best.peak_arena_bytes = result.peak_arena_bytes;
+      best.completed = result.completed;
+    }
+  }
+  return best;
+}
+
+struct Case {
+  std::string family;    // gnp / grid / ring
+  std::string workload;  // luby / greedy
+  NodeId n;
+  Graph graph;
+  std::function<ProgramFactory()> make;
+  int num_threads = 1;
+};
+
+std::vector<Case> build_cases() {
+  std::vector<Case> cases;
+  auto luby = [] { return luby_mis_algorithm(42); };
+  auto greedy = [] { return greedy_mis_algorithm(); };
+
+  // Luby on GNP: allocation/delivery bound (avg degree 8).
+  for (NodeId n : {2048, 8192, 32768}) {
+    Rng rng(1000 + n);
+    Graph g = make_gnp(n, 8.0 / n, rng);
+    randomize_ids(g, rng);
+    cases.push_back({"gnp", "luby", n, std::move(g), luby});
+  }
+  // Luby on grid.
+  for (NodeId side : {32, 64, 128}) {
+    Rng rng(2000 + side);
+    Graph g = make_grid(side, side);
+    randomize_ids(g, rng);
+    cases.push_back({"grid", "luby", side * side, std::move(g), luby});
+  }
+  // Luby on ring.
+  for (NodeId n : {4096, 16384, 65536}) {
+    Rng rng(3000 + n);
+    Graph g = make_ring(n);
+    randomize_ids(g, rng);
+    cases.push_back({"ring", "luby", n, std::move(g), luby});
+  }
+  // Greedy MIS on ascending-id ring: the sequential frontier worst case —
+  // Theta(n) rounds, O(1) live work per round once most nodes terminated.
+  for (NodeId n : {1024, 4096}) {
+    Graph g = make_ring(n);
+    sorted_ids(g);
+    cases.push_back({"ring", "greedy", n, std::move(g), greedy});
+  }
+  // Greedy MIS on GNP with random identifiers: O(log n)-ish rounds.
+  for (NodeId n : {2048, 8192}) {
+    Rng rng(4000 + n);
+    Graph g = make_gnp(n, 8.0 / n, rng);
+    randomize_ids(g, rng);
+    cases.push_back({"gnp", "greedy", n, std::move(g), greedy});
+  }
+  // Parallel delivery: rerun the largest Luby/GNP instance sharded over a
+  // small thread pool (results are bit-identical to serial by contract).
+  for (int t : {2, 4}) {
+    Rng rng(1000 + 32768);
+    Graph g = make_gnp(32768, 8.0 / 32768, rng);
+    randomize_ids(g, rng);
+    cases.push_back({"gnp", "luby", 32768, std::move(g), luby, t});
+  }
+  return cases;
+}
+
+void run_all(bool json) {
+  banner("ENGINE",
+         "Simulator data-plane throughput: wall ms / rounds per sec / "
+         "messages per sec per (family, workload, n, threads). Tracked "
+         "across PRs via --json (BENCH_engine.json).");
+  Table table({"family", "workload", "n", "threads", "wall_ms", "rounds",
+               "k_msgs", "rounds_per_s", "mmsgs_per_s", "peak_arena_kb"});
+  table.print_header();
+  JsonRecords out;
+  for (auto& c : build_cases()) {
+    const int reps = c.n <= 8192 ? 3 : 2;
+    const CaseResult r = run_case(c.graph, c.make, reps, c.num_threads);
+    const double secs = r.wall_ms / 1000.0;
+    const double rps = secs > 0 ? r.rounds / secs : 0;
+    const double mps = secs > 0 ? static_cast<double>(r.messages) / secs : 0;
+    table.print_row({c.family, c.workload, fmt(c.n), fmt(c.num_threads),
+                     fmt(r.wall_ms), fmt(r.rounds), fmt(r.messages / 1000),
+                     fmt(rps), fmt(mps / 1e6),
+                     fmt(r.peak_arena_bytes / 1024)});
+    if (json) {
+      out.begin_record();
+      out.field("family", c.family);
+      out.field("workload", c.workload);
+      out.field("n", static_cast<std::int64_t>(c.n));
+      out.field("threads", c.num_threads);
+      out.field("wall_ms", r.wall_ms);
+      out.field("rounds", r.rounds);
+      out.field("messages", r.messages);
+      out.field("rounds_per_sec", rps);
+      out.field("messages_per_sec", mps);
+      out.field("peak_arena_bytes", r.peak_arena_bytes);
+      out.field("completed", static_cast<std::int64_t>(r.completed ? 1 : 0));
+    }
+  }
+  if (json) {
+    if (out.write_file("BENCH_engine.json")) {
+      std::printf("\nwrote BENCH_engine.json\n");
+    } else {
+      std::printf("\nERROR: could not write BENCH_engine.json\n");
+    }
+  }
+}
+
+void BM_LubyGnp(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1000 + n);
+  Graph g = make_gnp(n, 8.0 / n, rng);
+  randomize_ids(g, rng);
+  for (auto _ : state) {
+    auto result = run_algorithm(g, luby_mis_algorithm(42));
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+}
+BENCHMARK(BM_LubyGnp)->Arg(2048)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = dgap::benchutil::take_json_flag(&argc, &argv[0]);
+  run_all(json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

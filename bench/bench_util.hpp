@@ -8,7 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,73 @@ inline std::string fmt(double v) {
 
 inline void banner(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+// ---------------------------------------------------------------------------
+// --json output. A bench that wants its numbers tracked across PRs collects
+// flat records into JsonRecords and writes them next to the working
+// directory (e.g. BENCH_engine.json); the table output stays the primary
+// human-facing artifact.
+// ---------------------------------------------------------------------------
+
+/// Accumulates an array of flat JSON objects and writes it as a file.
+/// Values are stored pre-serialized; use the typed field() overloads.
+class JsonRecords {
+ public:
+  void begin_record() { records_.emplace_back(); }
+
+  void field(const char* key, const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    push(key, out);
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, std::int64_t v) { push(key, std::to_string(v)); }
+  void field(const char* key, int v) { push(key, std::to_string(v)); }
+  void field(const char* key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    push(key, buf);
+  }
+
+  bool write_file(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s%s", i ? ", " : "", records_[r][i].c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void push(const char* key, const std::string& serialized) {
+    records_.back().push_back("\"" + std::string(key) + "\": " + serialized);
+  }
+  std::vector<std::vector<std::string>> records_;  // "key": value strings
+};
+
+/// True iff `--json` appears in argv; removes it so google-benchmark does
+/// not see an unknown flag. The bench then writes its JsonRecords file.
+inline bool take_json_flag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace dgap::benchutil

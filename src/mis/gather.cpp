@@ -38,7 +38,7 @@ bool MisGatherPhase::knows(Value id) const {
   return it != records_.end() && it->id == id;
 }
 
-void MisGatherPhase::absorb(const std::vector<Value>& words) {
+void MisGatherPhase::absorb(WordSpan words) {
   std::size_t pos = 0;
   while (pos < words.size()) {
     DGAP_ASSERT(pos + 2 <= words.size(), "truncated gather record");

@@ -45,7 +45,7 @@ class MisGatherPhase final : public PhaseProgram {
     std::vector<Value> neighbor_ids;
   };
 
-  void absorb(const std::vector<Value>& words);
+  void absorb(WordSpan words);
   bool knows(Value id) const;
   bool component_closed() const;
   void decide(NodeContext& ctx);

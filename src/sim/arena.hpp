@@ -1,0 +1,85 @@
+// Per-round slab allocation for message payloads.
+//
+// The engine's data plane stores every payload word sent in a round in one
+// (per shard) contiguous arena instead of a heap vector per message. A
+// Message then carries a WordSpan — a borrowed (pointer, length) view into
+// the arena — so delivering a round is pointer shuffling, not allocation.
+// The arena is cleared (capacity retained) at the start of every send
+// phase, so after the first few rounds the hot path performs zero heap
+// allocations in steady state.
+//
+// Lifetime rule: a WordSpan obtained from an inbox is valid only until the
+// end of the current round's receive phase. Programs that need a payload
+// across rounds must copy the words out (they all did already — the old
+// per-message vectors were cleared each round too).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgap {
+
+/// Borrowed, immutable view of a payload: the words of one message.
+/// Deliberately mirrors the read-side interface of std::vector<Value> so
+/// program code (`m.words.at(0)`, range-for, `.size()`) is unchanged.
+class WordSpan {
+ public:
+  WordSpan() = default;
+  WordSpan(const Value* data, std::size_t size)
+      : data_(data), size_(static_cast<std::uint32_t>(size)) {}
+
+  const Value* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+  const Value& operator[](std::size_t i) const { return data_[i]; }
+  const Value& front() const { return data_[0]; }
+  const Value& back() const { return data_[size_ - 1]; }
+  /// Bounds-checked access, same contract as std::vector::at.
+  const Value& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("WordSpan::at: index out of range");
+    return data_[i];
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
+/// Append-only slab of payload words, reused round after round. Offsets
+/// (not pointers) are handed out during the send phase because the slab may
+/// still grow; they are resolved to pointers once the phase is over and the
+/// slab is frozen for the round.
+class MessageArena {
+ public:
+  /// Copies `count` words in; returns the offset of the first word.
+  std::uint32_t append(const Value* words, std::size_t count) {
+    const auto offset = static_cast<std::uint32_t>(words_.size());
+    words_.insert(words_.end(), words, words + count);
+    return offset;
+  }
+  std::uint32_t append(std::initializer_list<Value> words) {
+    return append(words.begin(), words.size());
+  }
+
+  /// Start a new round: drop contents, keep capacity.
+  void clear() { words_.clear(); }
+
+  /// Words currently stored this round.
+  std::size_t size() const { return words_.size(); }
+
+  /// Base pointer for offset resolution. Only valid once the send phase is
+  /// complete (no further append() calls this round).
+  const Value* data() const { return words_.data(); }
+
+ private:
+  std::vector<Value> words_;
+};
+
+}  // namespace dgap

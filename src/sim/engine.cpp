@@ -1,9 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <climits>
 
 #include "common/require.hpp"
 #include "graph/properties.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace dgap {
 
@@ -60,16 +63,16 @@ bool NodeContext::neighbor_active(NodeId u) const {
 
 Value NodeContext::neighbor_output(NodeId u) const {
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
-  const auto& st = engine_->nodes_[u];
-  if (st.active) return kUndefined;  // outputs become visible on termination
-  return st.output;
+  if (engine_->node_active_[u]) {
+    return kUndefined;  // outputs become visible on termination
+  }
+  return engine_->nodes_[u].output;
 }
 
 Value NodeContext::neighbor_output_for(NodeId u, NodeId key) const {
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
-  const auto& st = engine_->nodes_[u];
-  if (st.active) return kUndefined;
-  return lookup_edge_output(st.edge_outputs, key);
+  if (engine_->node_active_[u]) return kUndefined;
+  return lookup_edge_output(engine_->nodes_[u].edge_outputs, key);
 }
 
 Value NodeContext::prediction() const {
@@ -80,22 +83,57 @@ Value NodeContext::edge_prediction(NodeId u) const {
   return engine_->predictions_.edge(engine_->graph_, index_, u);
 }
 
-void NodeContext::send(NodeId to, std::vector<Value> words, int channel) {
+void NodeContext::send(NodeId to, const Value* words, std::size_t count,
+                       int channel) {
   DGAP_REQUIRE(engine_->in_send_phase_, "send() is only valid in onSend");
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, to),
                "can only send to a neighbor");
-  engine_->nodes_[index_].outbox.emplace_back(
-      to, Message{index_, channel, std::move(words)});
+  auto& sh = *shard_;
+  if (channel < sh.last_channel) sh.channels_monotone = false;
+  sh.last_channel = channel;
+  const std::uint32_t offset = sh.arena.append(words, count);
+  sh.sends.push_back({to, index_, channel, offset,
+                      static_cast<std::uint32_t>(count), nullptr});
 }
 
-void NodeContext::broadcast(const std::vector<Value>& words, int channel) {
-  for (NodeId u : active_neighbors()) {
-    send(u, words, channel);
+void NodeContext::send(NodeId to, const std::vector<Value>& words,
+                       int channel) {
+  send(to, words.data(), words.size(), channel);
+}
+
+void NodeContext::send(NodeId to, std::initializer_list<Value> words,
+                       int channel) {
+  send(to, words.begin(), words.size(), channel);
+}
+
+void NodeContext::broadcast(const Value* words, std::size_t count,
+                            int channel) {
+  DGAP_REQUIRE(engine_->in_send_phase_, "broadcast() is only valid in onSend");
+  const auto& an = active_neighbors();
+  if (an.empty()) return;
+  auto& sh = *shard_;
+  if (channel < sh.last_channel) sh.channels_monotone = false;
+  sh.last_channel = channel;
+  // One arena copy of the payload, shared by every per-neighbor record.
+  const std::uint32_t offset = sh.arena.append(words, count);
+  const auto len = static_cast<std::uint32_t>(count);
+  for (NodeId u : an) {
+    sh.sends.push_back({u, index_, channel, offset, len, nullptr});
   }
 }
 
-const std::vector<Message>& NodeContext::inbox() const {
-  return engine_->nodes_[index_].inbox;
+void NodeContext::broadcast(const std::vector<Value>& words, int channel) {
+  broadcast(words.data(), words.size(), channel);
+}
+
+void NodeContext::broadcast(std::initializer_list<Value> words, int channel) {
+  broadcast(words.begin(), words.size(), channel);
+}
+
+std::span<const Message> NodeContext::inbox() const {
+  const auto& ref = engine_->inbox_ref_[index_];
+  if (ref.round_stamp != engine_->round_) return {};
+  return {engine_->inbox_flat_.data() + ref.begin, ref.count};
 }
 
 void NodeContext::set_output(Value v) {
@@ -127,11 +165,11 @@ void NodeContext::terminate() {
   auto& st = engine_->nodes_[index_];
   DGAP_REQUIRE(st.output != kUndefined || !st.edge_outputs.empty(),
                "a node terminates only after assigning its outputs");
-  st.terminate_requested = true;
+  engine_->terminate_flag_[index_] = 1;
 }
 
 bool NodeContext::terminated() const {
-  return engine_->nodes_[index_].terminate_requested;
+  return engine_->terminate_flag_[index_] != 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -142,21 +180,33 @@ Engine::Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
                EngineOptions options)
     : graph_(g), predictions_(std::move(predictions)), options_(options) {
   DGAP_REQUIRE(factory != nullptr, "a program factory is required");
+  DGAP_REQUIRE(options_.num_threads >= 1, "num_threads must be >= 1");
   const NodeId n = g.num_nodes();
   nodes_.resize(static_cast<std::size_t>(n));
+  active_nodes_.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     nodes_[v].program = factory(v);
     DGAP_REQUIRE(nodes_[v].program != nullptr, "factory returned null");
     nodes_[v].active_neighbors = g.neighbors(v);
+    active_nodes_.push_back(v);
   }
   active_count_ = n;
+  node_active_.assign(static_cast<std::size_t>(n), 1);
+  terminate_flag_.assign(static_cast<std::size_t>(n), 0);
+  inbox_ref_.resize(static_cast<std::size_t>(n));
+  recv_count_.assign(static_cast<std::size_t>(n), 0);
+  shards_.resize(static_cast<std::size_t>(options_.num_threads));
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
 }
 
-void Engine::charge_message(const Message& m) {
+Engine::~Engine() = default;
+
+void Engine::charge(std::size_t payload_words, int channel) {
   ++metrics_.total_messages;
   // Channel tags model an extra field inside the message.
-  const int width =
-      static_cast<int>(m.words.size()) + (m.channel != 0 ? 1 : 0);
+  const int width = static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
   metrics_.total_words += width;
   metrics_.max_message_words = std::max(metrics_.max_message_words, width);
   if (options_.congest_word_limit > 0 && width > options_.congest_word_limit) {
@@ -164,65 +214,203 @@ void Engine::charge_message(const Message& m) {
   }
 }
 
+template <typename Body>
+void Engine::run_sharded(const Body& body) {
+  const auto shards = shards_.size();
+  const std::size_t m = active_nodes_.size();
+  if (!pool_) {
+    body(0, 0, m);
+    return;
+  }
+  pool_->run([&](int s) {
+    const std::size_t su = static_cast<std::size_t>(s);
+    body(s, m * su / shards, m * (su + 1) / shards);
+  });
+}
+
+void Engine::send_phase() {
+  in_send_phase_ = true;
+  run_sharded([this](int s, std::size_t lo, std::size_t hi) {
+    auto& sh = shards_[static_cast<std::size_t>(s)];
+    sh.arena.clear();
+    sh.sends.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = active_nodes_[i];
+      sh.last_channel = INT_MIN;
+      NodeContext ctx(this, v, &sh);
+      nodes_[v].program->on_send(ctx);
+    }
+  });
+  in_send_phase_ = false;
+}
+
+// Applies fn to every send record of the round in canonical order:
+// (sender, channel, send order), senders ascending. The common case is the
+// raw concatenation of the shard buffers (shards are contiguous slices of
+// the ascending worklist); the rare channel-repair case iterates the sorted
+// copy instead.
+template <typename Fn>
+void Engine::for_each_send(const Fn& fn) const {
+  if (use_sorted_sends_) {
+    for (const auto& r : sorted_sends_) fn(r);
+    return;
+  }
+  for (const auto& sh : shards_) {
+    for (const auto& r : sh.sends) fn(r);
+  }
+}
+
 void Engine::deliver_round_messages() {
-  for (auto& st : nodes_) st.inbox.clear();
-  for (auto& st : nodes_) {
-    for (auto& [to, msg] : st.outbox) {
-      charge_message(msg);
-      if (nodes_[to].active) {
-        nodes_[to].inbox.push_back(std::move(msg));
+  // Freeze the per-shard arenas and resolve each record's payload pointer,
+  // charging the message metrics in sender order. Every sent message is
+  // charged — including messages addressed to a node that terminated in an
+  // earlier round. The model's cost accounting is sender-side: the sender
+  // cannot know the receiver is gone until the termination notice arrives
+  // (next round's active_neighbors view), so the words crossed the wire
+  // and count toward total_messages/total_words. Delivery, however, drops
+  // them below: a terminated node has no receive phase, and resurrected
+  // inboxes would violate the model. Pinned by
+  // Engine.DropsToTerminatedAreChargedNotDelivered in engine_test.cpp.
+  // The same pass also runs the counting stage of the receiver scatter
+  // (below) — per-record work is memory-bound, so fusing the loops matters —
+  // and accumulates the metrics locally, folding them in once per round.
+  bool channels_monotone = true;
+  std::size_t arena_words = 0;
+  std::int64_t round_messages = 0;
+  std::int64_t round_words = 0;
+  int max_width = metrics_.max_message_words;
+  std::int64_t violations = 0;
+  const int congest_limit = options_.congest_word_limit;
+  touched_receivers_.clear();
+  std::uint32_t delivered = 0;
+  for (auto& sh : shards_) {
+    channels_monotone &= sh.channels_monotone;
+    sh.channels_monotone = true;
+    arena_words += sh.arena.size();
+    const Value* base = sh.arena.data();
+    for (auto& r : sh.sends) {
+      r.words = base + r.offset;
+      ++round_messages;
+      // Channel tags model an extra field inside the message (cf. charge()).
+      const int width = static_cast<int>(r.len) + (r.channel != 0 ? 1 : 0);
+      round_words += width;
+      if (width > max_width) max_width = width;
+      if (congest_limit > 0 && width > congest_limit) ++violations;
+      if (node_active_[r.to]) {
+        if (recv_count_[r.to]++ == 0) touched_receivers_.push_back(r.to);
+        ++delivered;
       }
     }
-    st.outbox.clear();
   }
-  // Deterministic inbox order (by sender, then channel) regardless of the
-  // engine's iteration order — simulated algorithms must not depend on
-  // incidental arrival order.
-  for (auto& st : nodes_) {
-    std::sort(st.inbox.begin(), st.inbox.end(),
-              [](const Message& a, const Message& b) {
-                return std::tie(a.from, a.channel) <
-                       std::tie(b.from, b.channel);
-              });
+  metrics_.total_messages += round_messages;
+  metrics_.total_words += round_words;
+  metrics_.max_message_words = max_width;
+  metrics_.congest_violations += violations;
+  peak_arena_words_ = std::max(peak_arena_words_, arena_words);
+
+  // The shard buffers are ordered by (sender, send order). The required
+  // inbox order is (sender, channel, send order), which differs only if
+  // some node sent on a decreasing channel sequence — rare (compositions
+  // emit channel blocks in ascending order) — and is repaired by one
+  // stable sort of a merged copy when it happens.
+  use_sorted_sends_ = !channels_monotone;
+  if (use_sorted_sends_) {
+    sorted_sends_.clear();
+    for (const auto& sh : shards_) {
+      sorted_sends_.insert(sorted_sends_.end(), sh.sends.begin(),
+                           sh.sends.end());
+    }
+    std::stable_sort(sorted_sends_.begin(), sorted_sends_.end(),
+                     [](const detail::SendRecord& a,
+                        const detail::SendRecord& b) {
+                       return std::tie(a.from, a.channel) <
+                              std::tie(b.from, b.channel);
+                     });
   }
+
+  // Counting-sort scatter by receiver (counting ran fused with the resolve
+  // pass above). Grouping receivers in first-touch order (rather than
+  // ascending) keeps this O(messages), not O(n); the stable scatter
+  // preserves the (sender, channel, send order) sequence within each
+  // receiver's slice. Terminated receivers are never counted, so their
+  // messages are dropped right here.
+  std::uint32_t cursor = 0;
+  for (const NodeId to : touched_receivers_) {
+    inbox_ref_[to] = {cursor, 0, round_};
+    cursor += recv_count_[to];
+    recv_count_[to] = 0;  // restore the all-zero invariant for next round
+  }
+  inbox_flat_.resize(delivered);
+  for_each_send([&](const detail::SendRecord& r) {
+    if (!node_active_[r.to]) return;
+    auto& ref = inbox_ref_[r.to];
+    inbox_flat_[ref.begin + ref.count++] =
+        Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len)};
+  });
+}
+
+void Engine::receive_phase() {
+  // Safe to shard: a program's receive hook writes only its own node's
+  // state (output, edge_outputs, terminate_requested) and reads neighbor
+  // state frozen at the start of the round (active flags and outputs only
+  // change in process_terminations, after this phase joins).
+  run_sharded([this](int, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = active_nodes_[i];
+      NodeContext ctx(this, v, nullptr);
+      nodes_[v].program->on_receive(ctx);
+    }
+  });
 }
 
 void Engine::process_terminations(std::vector<int>& termination_round) {
   if (options_.record_terminations) {
     metrics_.terminations_per_round.resize(static_cast<std::size_t>(round_));
   }
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    auto& st = nodes_[v];
-    if (!st.active || !st.terminate_requested) continue;
-    st.active = false;
+  newly_terminated_.clear();
+  for (const NodeId v : active_nodes_) {
+    if (!terminate_flag_[v]) continue;
+    node_active_[v] = 0;
     --active_count_;
     termination_round[v] = round_;
+    newly_terminated_.push_back(v);  // ascending: the worklist is ascending
     if (options_.record_terminations) {
       metrics_.terminations_per_round.back().push_back(v);
     }
   }
-  // Second pass: rebuild active-neighbor views and charge the notification
-  // messages implied by the Section 7 convention (one message carrying the
-  // node's outputs to each neighbor that is still active).
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    auto& st = nodes_[v];
-    if (st.active || termination_round[v] != round_) continue;
+  if (newly_terminated_.empty()) return;
+  // Second pass: charge the notification messages implied by the Section 7
+  // convention (one message carrying the node's outputs to each neighbor
+  // that is still active) and collect the affected neighbors, deduplicated
+  // via the recv_count_ scratch (all-zero between rounds, restored below).
+  // touched_receivers_ is likewise free until next round's delivery.
+  touched_receivers_.clear();
+  for (const NodeId v : newly_terminated_) {
+    const std::size_t notice_words = 1 + nodes_[v].edge_outputs.size();
     for (NodeId u : graph_.neighbors(v)) {
-      if (!nodes_[u].active) continue;
-      Message notice;
-      notice.from = v;
-      notice.words.assign(
-          1 + st.edge_outputs.size(),
-          st.output == kUndefined ? Value{0} : st.output);
-      charge_message(notice);
-      auto& uan = nodes_[u].active_neighbors;
-      auto it = std::lower_bound(uan.begin(), uan.end(), v);
-      if (it != uan.end() && *it == v) uan.erase(it);
+      if (!node_active_[u]) continue;
+      charge(notice_words, /*channel=*/0);
+      if (recv_count_[u]++ == 0) touched_receivers_.push_back(u);
     }
   }
+  // Drop every terminated node from each affected view in one linear pass
+  // (an invariant of the view is that it never contains inactive nodes, so
+  // filtering on the active flag removes exactly this round's batch).
+  for (const NodeId u : touched_receivers_) {
+    recv_count_[u] = 0;
+    auto& uan = nodes_[u].active_neighbors;
+    uan.erase(std::remove_if(uan.begin(), uan.end(),
+                             [this](NodeId w) { return !node_active_[w]; }),
+              uan.end());
+  }
+  active_nodes_.erase(
+      std::remove_if(active_nodes_.begin(), active_nodes_.end(),
+                     [this](NodeId v) { return !node_active_[v]; }),
+      active_nodes_.end());
 }
 
 RunResult Engine::run() {
+  const auto t0 = std::chrono::steady_clock::now();
   const NodeId n = graph_.num_nodes();
   RunResult result;
   result.termination_round.assign(static_cast<std::size_t>(n), -1);
@@ -232,21 +420,9 @@ RunResult Engine::run() {
     if (options_.record_active_per_round) {
       metrics_.active_per_round.push_back(active_count_);
     }
-    // Send phase.
-    in_send_phase_ = true;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!nodes_[v].active) continue;
-      NodeContext ctx(this, v);
-      nodes_[v].program->on_send(ctx);
-    }
-    in_send_phase_ = false;
+    send_phase();
     deliver_round_messages();
-    // Receive / compute phase.
-    for (NodeId v = 0; v < n; ++v) {
-      if (!nodes_[v].active) continue;
-      NodeContext ctx(this, v);
-      nodes_[v].program->on_receive(ctx);
-    }
+    receive_phase();
     process_terminations(result.termination_round);
   }
 
@@ -264,6 +440,11 @@ RunResult Engine::run() {
   result.congest_violations = metrics_.congest_violations;
   result.active_per_round = std::move(metrics_.active_per_round);
   result.terminations_per_round = std::move(metrics_.terminations_per_round);
+  result.peak_arena_bytes =
+      static_cast<std::int64_t>(peak_arena_words_ * sizeof(Value));
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
   return result;
 }
 
@@ -284,10 +465,20 @@ std::vector<int> completion_round_per_component(const Graph& g,
   DGAP_REQUIRE(result.termination_round.size() ==
                    static_cast<std::size_t>(g.num_nodes()),
                "result does not match the graph");
+  return completion_round_per_component(connected_components(g), result);
+}
+
+std::vector<int> completion_round_per_component(
+    const std::vector<std::vector<NodeId>>& components,
+    const RunResult& result) {
   std::vector<int> out;
-  for (const auto& comp : connected_components(g)) {
+  out.reserve(components.size());
+  for (const auto& comp : components) {
     int worst = 0;
     for (NodeId v : comp) {
+      DGAP_REQUIRE(static_cast<std::size_t>(v) <
+                       result.termination_round.size(),
+                   "components do not match the result");
       const int t = result.termination_round[v];
       if (t < 0) {
         worst = -1;
@@ -300,7 +491,7 @@ std::vector<int> completion_round_per_component(const Graph& g,
   return out;
 }
 
-std::vector<const Message*> inbox_on_channel(const std::vector<Message>& inbox,
+std::vector<const Message*> inbox_on_channel(std::span<const Message> inbox,
                                              int channel) {
   std::vector<const Message*> out;
   for (const Message& m : inbox) {

@@ -19,12 +19,14 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 #include "predict/predictions.hpp"
+#include "sim/arena.hpp"
 
 namespace dgap {
 
@@ -32,13 +34,42 @@ namespace dgap {
 /// by composed algorithms (the Parallel template runs two sub-algorithms
 /// whose traffic must not be confused); it models field(s) inside the
 /// message, and its width is charged as one extra word whenever nonzero.
+/// `words` is a borrowed view into the engine's round arena — valid only
+/// during this round's receive phase; copy words out to keep them.
 struct Message {
   NodeId from = kNoNode;  // sender's internal index
   int channel = 0;
-  std::vector<Value> words;
+  WordSpan words;
 };
 
 class Engine;
+
+namespace detail {
+
+/// One queued send: routing key plus the payload's (offset, len) into the
+/// producing shard's arena. `words` is filled in after the send phase, once
+/// the arena is frozen (it may still grow — and move — while the phase
+/// runs, which is why the offset is recorded instead of a pointer).
+struct SendRecord {
+  NodeId to;
+  NodeId from;
+  std::int32_t channel;
+  std::uint32_t offset;
+  std::uint32_t len;
+  const Value* words;
+};
+
+/// Outgoing traffic of one contiguous slice of the active worklist. Serial
+/// runs use a single shard; parallel runs give each thread its own, merged
+/// in slice order so the round buffer is identical to the serial one.
+struct SendShard {
+  MessageArena arena;
+  std::vector<SendRecord> sends;
+  bool channels_monotone = true;  // every sender's channels non-decreasing?
+  int last_channel = 0;           // channel of the current node's last send
+};
+
+}  // namespace detail
 
 /// Per-node view handed to programs each round. All queries reflect the
 /// node's legitimate local knowledge: its identifier, its neighbors'
@@ -76,12 +107,21 @@ class NodeContext {
   Value edge_prediction(NodeId u) const;
 
   /// Queue a message to neighbor `to` for this round. Only valid in onSend.
-  void send(NodeId to, std::vector<Value> words, int channel = 0);
+  /// The words are copied into the round arena; the initializer-list
+  /// overload keeps literal payloads (`ctx.send(u, {x, y})`) off the heap.
+  void send(NodeId to, const Value* words, std::size_t count, int channel = 0);
+  void send(NodeId to, const std::vector<Value>& words, int channel = 0);
+  void send(NodeId to, std::initializer_list<Value> words, int channel = 0);
   /// Send the same message to every active neighbor. Only valid in onSend.
+  /// The payload is stored once in the arena regardless of the degree.
+  void broadcast(const Value* words, std::size_t count, int channel = 0);
   void broadcast(const std::vector<Value>& words, int channel = 0);
+  void broadcast(std::initializer_list<Value> words, int channel = 0);
 
-  /// Messages received this round. Only meaningful in onReceive.
-  const std::vector<Message>& inbox() const;
+  /// Messages received this round, ordered by (sender, channel, send
+  /// order). Only meaningful in onReceive; the underlying storage is
+  /// reused across rounds, so copy anything that must outlive the round.
+  std::span<const Message> inbox() const;
 
   /// Assign this node's (key-0) output value.
   void set_output(Value v);
@@ -101,9 +141,12 @@ class NodeContext {
 
  private:
   friend class Engine;
-  NodeContext(Engine* e, NodeId index) : engine_(e), index_(index) {}
+  NodeContext(Engine* e, NodeId index, detail::SendShard* shard)
+      : engine_(e), index_(index), shard_(shard) {}
   Engine* engine_;
   NodeId index_;
+  // Outgoing-traffic sink; null outside the send phase.
+  detail::SendShard* shard_;
 };
 
 /// A per-node state machine. The engine owns one per node; hooks are called
@@ -133,6 +176,10 @@ struct EngineOptions {
   /// Record which nodes terminated in each round (RunResult::
   /// terminations_per_round) — a lightweight run transcript.
   bool record_terminations = false;
+  /// Shard the send and receive phases over this many threads (1 = serial).
+  /// Results are bit-identical to the serial run regardless of the value —
+  /// see docs/MODEL.md "Simulator internals & performance model".
+  int num_threads = 1;
 };
 
 struct RunResult {
@@ -149,13 +196,22 @@ struct RunResult {
   /// terminations_per_round[r-1] = nodes that terminated in round r
   /// (only filled when EngineOptions::record_terminations is set).
   std::vector<std::vector<NodeId>> terminations_per_round;
+  /// Wall-clock duration of run(). Excluded from determinism comparisons —
+  /// every other field above is reproducible from (graph, factory, options).
+  double wall_ms = 0;
+  /// High-water mark of per-round message-payload arena usage, in bytes.
+  /// Plateaus once the arena reaches steady state (no per-round allocation).
+  std::int64_t peak_arena_bytes = 0;
 };
+
+class ThreadPool;
 
 class Engine {
  public:
   /// The predictions object may be empty for algorithms without predictions.
   Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
          EngineOptions options = {});
+  ~Engine();
 
   /// Run to global termination (or max_rounds).
   RunResult run();
@@ -163,20 +219,38 @@ class Engine {
  private:
   friend class NodeContext;
 
+  /// Cold per-node state. The hot flags (active, terminate_requested) live
+  /// in dedicated byte arrays so the per-message delivery checks and the
+  /// termination sweep stay cache-resident even for large n.
   struct NodeState {
     std::unique_ptr<NodeProgram> program;
-    bool active = true;
-    bool terminate_requested = false;
     std::vector<NodeId> active_neighbors;
     Value output = kUndefined;
     std::vector<std::pair<NodeId, Value>> edge_outputs;  // sorted by key
-    std::vector<Message> inbox;
-    std::vector<std::pair<NodeId, Message>> outbox;  // (recipient, message)
   };
 
+  /// Inbox of one node = a slice of inbox_flat_, valid for one round. The
+  /// stamp makes stale entries read as empty without any per-round clearing.
+  struct InboxRef {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+    int round_stamp = -1;
+  };
+
+  /// Runs body(shard, lo, hi) for each contiguous slice [lo, hi) of
+  /// active_nodes_ — on the pool when configured, inline otherwise. Slices
+  /// are a pure function of (active count, shard count), so concatenating
+  /// per-shard output in shard order is independent of the thread count;
+  /// that is the heart of the determinism contract.
+  template <typename Body>
+  void run_sharded(const Body& body);
+  void send_phase();
   void deliver_round_messages();
+  template <typename Fn>
+  void for_each_send(const Fn& fn) const;
+  void receive_phase();
   void process_terminations(std::vector<int>& termination_round);
-  void charge_message(const Message& m);
+  void charge(std::size_t payload_words, int channel);
 
   const Graph& graph_;
   Predictions predictions_;
@@ -186,6 +260,21 @@ class Engine {
   bool in_send_phase_ = false;
   NodeId active_count_ = 0;
   RunResult metrics_;  // message counters accumulated here during the run
+
+  // --- data plane (all buffers are reused across rounds) ---
+  std::vector<std::uint8_t> node_active_;       // hot flag, 1 = active
+  std::vector<std::uint8_t> terminate_flag_;    // hot flag, 1 = requested
+  std::vector<NodeId> active_nodes_;        // live node indices, ascending
+  std::vector<NodeId> newly_terminated_;    // scratch for termination pass
+  std::vector<detail::SendShard> shards_;   // one per engine thread
+  std::vector<detail::SendRecord> sorted_sends_;  // rare channel-repair path
+  bool use_sorted_sends_ = false;           // this round's sends were sorted
+  std::vector<Message> inbox_flat_;         // receiver-grouped round buffer
+  std::vector<InboxRef> inbox_ref_;         // per node, stamped by round
+  std::vector<std::uint32_t> recv_count_;   // scratch; all-zero between rounds
+  std::vector<NodeId> touched_receivers_;   // receivers seen this round
+  std::unique_ptr<ThreadPool> pool_;        // workers when num_threads > 1
+  std::size_t peak_arena_words_ = 0;
 };
 
 /// Convenience: run an algorithm without predictions.
@@ -198,7 +287,7 @@ RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
                                EngineOptions options = {});
 
 /// Messages in `inbox` with the given channel.
-std::vector<const Message*> inbox_on_channel(const std::vector<Message>& inbox,
+std::vector<const Message*> inbox_on_channel(std::span<const Message> inbox,
                                              int channel);
 
 /// Completion round of each connected component of g (max termination
@@ -207,5 +296,11 @@ std::vector<const Message*> inbox_on_channel(const std::vector<Message>& inbox,
 /// maximizes over components.
 std::vector<int> completion_round_per_component(const Graph& g,
                                                 const RunResult& result);
+
+/// Overload taking precomputed components (connected_components(g)) — use
+/// in sweep loops to avoid recomputing the component structure per run.
+std::vector<int> completion_round_per_component(
+    const std::vector<std::vector<NodeId>>& components,
+    const RunResult& result);
 
 }  // namespace dgap

@@ -24,21 +24,69 @@
 
 namespace dgap {
 
+/// Lazily filtered view of a round inbox restricted to one channel.
+/// Iteration yields `const Message*`, so the idiomatic loop
+/// `for (const Message* m : ch.inbox())` is unchanged — but no vector of
+/// pointers is materialized (the filter runs inline, allocation-free).
+class ChannelInbox {
+ public:
+  class iterator {
+   public:
+    iterator(const Message* cur, const Message* last, int channel)
+        : cur_(cur), last_(last), channel_(channel) {
+      skip_mismatches();
+    }
+    const Message* operator*() const { return cur_; }
+    iterator& operator++() {
+      ++cur_;
+      skip_mismatches();
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    void skip_mismatches() {
+      while (cur_ != last_ && cur_->channel != channel_) ++cur_;
+    }
+    const Message* cur_;
+    const Message* last_;
+    int channel_;
+  };
+
+  ChannelInbox(std::span<const Message> all, int channel)
+      : all_(all), channel_(channel) {}
+  iterator begin() const {
+    return {all_.data(), all_.data() + all_.size(), channel_};
+  }
+  iterator end() const {
+    return {all_.data() + all_.size(), all_.data() + all_.size(), channel_};
+  }
+  bool empty() const { return !(begin() != end()); }
+
+ private:
+  std::span<const Message> all_;
+  int channel_;
+};
+
 /// Messaging endpoint bound to (context, channel id).
 class Channel {
  public:
   Channel(NodeContext& ctx, int id) : ctx_(&ctx), id_(id) {}
 
-  void send(NodeId to, std::vector<Value> words) {
-    ctx_->send(to, std::move(words), id_);
+  void send(NodeId to, const std::vector<Value>& words) {
+    ctx_->send(to, words, id_);
+  }
+  void send(NodeId to, std::initializer_list<Value> words) {
+    ctx_->send(to, words, id_);
   }
   void broadcast(const std::vector<Value>& words) {
     ctx_->broadcast(words, id_);
   }
-  /// Messages received this round on this channel.
-  std::vector<const Message*> inbox() const {
-    return inbox_on_channel(ctx_->inbox(), id_);
+  void broadcast(std::initializer_list<Value> words) {
+    ctx_->broadcast(words, id_);
   }
+  /// Messages received this round on this channel (lazy, allocation-free).
+  ChannelInbox inbox() const { return {ctx_->inbox(), id_}; }
   int id() const { return id_; }
 
  private:

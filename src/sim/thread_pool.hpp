@@ -1,0 +1,111 @@
+// Minimal persistent thread pool for the engine's sharded phases.
+//
+// The engine runs thousands of short send/receive phases per simulation, so
+// spawning std::threads per phase would dominate the runtime; this pool
+// keeps its workers parked on a condition variable between phases. The only
+// operation is run(fn): invoke fn(slot) for every slot in [0, num_slots),
+// slot 0 on the calling thread, and block until all slots finished. An
+// exception thrown by any slot (DGAP_REQUIRE inside a simulated program,
+// say) is captured and rethrown on the calling thread after the phase
+// barrier, so error semantics match serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgap {
+
+class ThreadPool {
+ public:
+  /// A pool with `slots` parallel slots spawns `slots - 1` workers; slot 0
+  /// always executes on the thread calling run(). slots must be >= 1.
+  explicit ThreadPool(int slots) : slots_(slots < 1 ? 1 : slots) {
+    for (int s = 1; s < slots_; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int num_slots() const { return slots_; }
+
+  /// Runs fn(0..slots-1) across the pool and waits for all of them.
+  void run(const std::function<void(int)>& fn) {
+    if (slots_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      pending_ = slots_ - 1;
+      first_error_ = nullptr;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    try {
+      fn(0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  void worker_loop(int slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      try {
+        (*job)(slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  const int slots_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dgap

@@ -1,0 +1,121 @@
+// Determinism guarantees of the engine's data plane (docs/MODEL.md,
+// "Simulator internals & performance model"):
+//
+//  1. A run is a pure function of (graph, factory, options): running twice
+//     with the same seed yields a bit-identical RunResult.
+//  2. num_threads never affects the result: parallel runs are bit-identical
+//     to the serial run (shard slices are pure functions of the active
+//     count, and per-shard output is merged in slice order).
+//  3. Algorithms break symmetry by identifiers, never internal indices, so
+//     permuting the internal node order yields the same per-identifier
+//     outputs and the same global metrics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "random/luby.hpp"
+#include "sim/engine.hpp"
+
+namespace dgap {
+namespace {
+
+/// Everything in RunResult except wall_ms (explicitly excluded from the
+/// determinism contract) and peak_arena_bytes (capacity growth may differ
+/// across thread counts; the *contents* may not).
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.termination_round, b.termination_round);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.edge_outputs, b.edge_outputs);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_words, b.total_words);
+  EXPECT_EQ(a.max_message_words, b.max_message_words);
+  EXPECT_EQ(a.congest_violations, b.congest_violations);
+  EXPECT_EQ(a.active_per_round, b.active_per_round);
+  EXPECT_EQ(a.terminations_per_round, b.terminations_per_round);
+}
+
+Graph test_graph() {
+  Rng rng(2024);
+  Graph g = make_gnp(512, 8.0 / 512, rng);
+  randomize_ids(g, rng);
+  return g;
+}
+
+EngineOptions recording_options(int num_threads) {
+  EngineOptions opt;
+  opt.record_active_per_round = true;
+  opt.record_terminations = true;
+  opt.num_threads = num_threads;
+  return opt;
+}
+
+TEST(EngineDeterminism, SameSeedSameResult) {
+  Graph g = test_graph();
+  auto one = run_algorithm(g, luby_mis_algorithm(42), recording_options(1));
+  auto two = run_algorithm(g, luby_mis_algorithm(42), recording_options(1));
+  ASSERT_TRUE(one.completed);
+  expect_identical(one, two);
+}
+
+TEST(EngineDeterminism, ThreadCountInvariant) {
+  Graph g = test_graph();
+  auto serial = run_algorithm(g, luby_mis_algorithm(42), recording_options(1));
+  ASSERT_TRUE(serial.completed);
+  for (int threads : {2, 4}) {
+    auto parallel =
+        run_algorithm(g, luby_mis_algorithm(42), recording_options(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+/// Rebuild g with internal node v placed at index perm[v] (identifiers
+/// travel with the nodes, so the logical graph is unchanged).
+Graph permute_indices(const Graph& g, const std::vector<NodeId>& perm) {
+  const NodeId n = g.num_nodes();
+  Graph h(n);
+  std::vector<Value> ids(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) ids[perm[v]] = g.id(v);
+  h.set_ids(std::move(ids));
+  h.set_id_bound(g.id_bound());
+  for (const auto& [u, v] : g.edges()) h.add_edge(perm[u], perm[v]);
+  return h;
+}
+
+TEST(EngineDeterminism, NodeOrderShuffleInvariantPerIdentifier) {
+  Graph g = test_graph();
+  auto base = run_algorithm(g, luby_mis_algorithm(42), recording_options(1));
+  ASSERT_TRUE(base.completed);
+
+  Rng rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<NodeId> perm(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) perm[v] = v;
+    rng.shuffle(perm);
+    Graph h = permute_indices(g, perm);
+    auto shuffled =
+        run_algorithm(h, luby_mis_algorithm(42), recording_options(1));
+
+    // Global quantities are index-free and must match exactly.
+    EXPECT_EQ(base.completed, shuffled.completed);
+    EXPECT_EQ(base.rounds, shuffled.rounds);
+    EXPECT_EQ(base.total_messages, shuffled.total_messages);
+    EXPECT_EQ(base.total_words, shuffled.total_words);
+    EXPECT_EQ(base.max_message_words, shuffled.max_message_words);
+    EXPECT_EQ(base.active_per_round, shuffled.active_per_round);
+
+    // Per-node quantities must match after translating indices to ids.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(base.outputs[v], shuffled.outputs[perm[v]])
+          << "output of id " << g.id(v);
+      EXPECT_EQ(base.termination_round[v], shuffled.termination_round[perm[v]])
+          << "termination round of id " << g.id(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgap

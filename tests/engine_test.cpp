@@ -327,6 +327,52 @@ TEST(Phase, BudgetedPhasePadsToBudget) {
   EXPECT_EQ(result.rounds, 5);
 }
 
+/// Sends {round} to every *graph* neighbor each round — including ones
+/// that already terminated — and records how many messages it received.
+/// The node with id 3 terminates after round 1; the rest after round 3.
+class SendToAllGraphNeighborsProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext& ctx) override {
+    for (NodeId u : ctx.neighbors()) ctx.send(u, {Value{ctx.round()}});
+  }
+  void on_receive(NodeContext& ctx) override {
+    received_ += static_cast<Value>(ctx.inbox().size());
+    if (ctx.id() == 3 || ctx.round() == 3) {
+      ctx.set_output(received_);
+      ctx.terminate();
+    }
+  }
+
+ private:
+  Value received_ = 0;
+};
+
+// Pins the drop-vs-charge rule (see Engine::deliver_round_messages): a
+// message addressed to a node that terminated in an earlier round is
+// charged to the metrics — the sender cannot know the receiver is gone
+// until the termination notice arrives — but never delivered (a terminated
+// node has no receive phase).
+TEST(Engine, DropsToTerminatedAreChargedNotDelivered) {
+  Graph g = make_line(3);  // ids 1,2,3: edges 1-2, 2-3
+  auto result = run_algorithm(g, [](NodeId) {
+    return std::make_unique<SendToAllGraphNeighborsProgram>();
+  });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 3);
+  // Round 1: 4 sends (both edges, both directions), all delivered; id 3
+  // terminates, and its notice to the one still-active neighbor costs 1.
+  // Rounds 2 and 3: 3 sends each — id 2's send to the terminated id 3 is
+  // charged but dropped. The final joint termination sends no notices.
+  EXPECT_EQ(result.total_messages, 4 + 1 + 3 + 3);
+  EXPECT_EQ(result.total_words, 4 + 1 + 3 + 3);  // 1 word each, channel 0
+  // Received counts prove the drops: id 3 saw only round 1 (1 message from
+  // id 2); id 1 got one message per round; id 2 got two in round 1 (ids 1
+  // and 3 both sent) and one per round after.
+  EXPECT_EQ(result.outputs[2], 1);
+  EXPECT_EQ(result.outputs[0], 3);
+  EXPECT_EQ(result.outputs[1], 2 + 1 + 1);
+}
+
 TEST(Phase, SequencePhaseRunsInOrder) {
   std::vector<std::unique_ptr<PhaseProgram>> phases;
   phases.push_back(std::make_unique<IdlePhase>(2));
