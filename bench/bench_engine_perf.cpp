@@ -122,7 +122,7 @@ void run_all(bool json) {
   Table table({"family", "workload", "n", "threads", "wall_ms", "rounds",
                "k_msgs", "rounds_per_s", "mmsgs_per_s", "peak_arena_kb"});
   table.print_header();
-  JsonRecords out;
+  JsonRecorder out(json, "BENCH_engine.json");
   for (auto& c : build_cases()) {
     const int reps = c.n <= 8192 ? 3 : 2;
     const CaseResult r = run_case(c.graph, c.make, reps, c.num_threads);
@@ -133,28 +133,20 @@ void run_all(bool json) {
                      fmt(r.wall_ms), fmt(r.rounds), fmt(r.messages / 1000),
                      fmt(rps), fmt(mps / 1e6),
                      fmt(r.peak_arena_bytes / 1024)});
-    if (json) {
-      out.begin_record();
-      out.field("family", c.family);
-      out.field("workload", c.workload);
-      out.field("n", static_cast<std::int64_t>(c.n));
-      out.field("threads", c.num_threads);
-      out.field("wall_ms", r.wall_ms);
-      out.field("rounds", r.rounds);
-      out.field("messages", r.messages);
-      out.field("rounds_per_sec", rps);
-      out.field("messages_per_sec", mps);
-      out.field("peak_arena_bytes", r.peak_arena_bytes);
-      out.field("completed", static_cast<std::int64_t>(r.completed ? 1 : 0));
-    }
+    out.begin_record();
+    out.field("family", c.family);
+    out.field("workload", c.workload);
+    out.field("n", static_cast<std::int64_t>(c.n));
+    out.field("threads", c.num_threads);
+    out.field("wall_ms", r.wall_ms);
+    out.field("rounds", r.rounds);
+    out.field("messages", r.messages);
+    out.field("rounds_per_sec", rps);
+    out.field("messages_per_sec", mps);
+    out.field("peak_arena_bytes", r.peak_arena_bytes);
+    out.field("completed", static_cast<std::int64_t>(r.completed ? 1 : 0));
   }
-  if (json) {
-    if (out.write_file("BENCH_engine.json")) {
-      std::printf("\nwrote BENCH_engine.json\n");
-    } else {
-      std::printf("\nERROR: could not write BENCH_engine.json\n");
-    }
-  }
+  out.finish();
 }
 
 void BM_LubyGnp(benchmark::State& state) {

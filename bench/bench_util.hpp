@@ -112,6 +112,41 @@ class JsonRecords {
   std::vector<std::vector<std::string>> records_;  // "key": value strings
 };
 
+/// The standard way a bench tracks numbers across PRs: construct with the
+/// `--json` flag state and the output path, call begin_record()/field()
+/// per data point exactly as with JsonRecords (every call is a no-op when
+/// disabled, so the bench body needs no `if (json)` blocks), and finish()
+/// once at the end — it writes the file and prints the confirmation line.
+class JsonRecorder {
+ public:
+  JsonRecorder(bool enabled, const char* path)
+      : enabled_(enabled), path_(path) {}
+
+  void begin_record() {
+    if (enabled_) records_.begin_record();
+  }
+  template <typename V>
+  void field(const char* key, V v) {
+    if (enabled_) records_.field(key, v);
+  }
+
+  /// Write the file (if enabled). Returns false only on a write error.
+  bool finish() {
+    if (!enabled_) return true;
+    if (records_.write_file(path_)) {
+      std::printf("\nwrote %s\n", path_);
+      return true;
+    }
+    std::printf("\nERROR: could not write %s\n", path_);
+    return false;
+  }
+
+ private:
+  bool enabled_;
+  const char* path_;
+  JsonRecords records_;
+};
+
 /// True iff `--json` appears in argv; removes it so google-benchmark does
 /// not see an unknown flag. The bench then writes its JsonRecords file.
 inline bool take_json_flag(int* argc, char** argv) {

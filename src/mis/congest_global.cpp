@@ -6,13 +6,30 @@
 
 namespace dgap {
 
-int congest_global_stage1_rounds(NodeId n) { return n + 1; }
-int congest_global_stage2_rounds(NodeId n) { return n * n; }
-int congest_global_stage3_rounds(NodeId n) { return 2 * n + 2; }
+int congest_global_record_stride(int link_budget) {
+  if (link_budget <= 0) return 1;  // unenforced: every round is a send slot
+  return (2 + link_budget - 1) / link_budget;  // ceil(record width / B)
+}
 
-int congest_global_total_rounds(NodeId n) {
-  return congest_global_stage1_rounds(n) + congest_global_stage2_rounds(n) +
-         congest_global_stage3_rounds(n);
+std::int64_t congest_global_stage1_rounds(NodeId n, int /*link_budget*/) {
+  // Single-word messages never defer (budgets are >= 1 word).
+  return static_cast<std::int64_t>(n) + 1;
+}
+
+std::int64_t congest_global_stage2_rounds(NodeId n, int link_budget) {
+  const auto n64 = static_cast<std::int64_t>(n);
+  return congest_global_record_stride(link_budget) * n64 * n64;
+}
+
+std::int64_t congest_global_stage3_rounds(NodeId n, int link_budget) {
+  const auto n64 = static_cast<std::int64_t>(n);
+  return congest_global_record_stride(link_budget) * (2 * n64 + 2);
+}
+
+std::int64_t congest_global_total_rounds(NodeId n, int link_budget) {
+  return congest_global_stage1_rounds(n, link_budget) +
+         congest_global_stage2_rounds(n, link_budget) +
+         congest_global_stage3_rounds(n, link_budget);
 }
 
 void CongestGlobalMisPhase::ensure_init(NodeContext& ctx) {
@@ -25,9 +42,14 @@ void CongestGlobalMisPhase::ensure_init(NodeContext& ctx) {
 void CongestGlobalMisPhase::on_send(NodeContext& ctx, Channel& ch) {
   ensure_init(ctx);
   const NodeId n = ctx.n();
-  const int round = step_ + 1;
-  const int b1 = congest_global_stage1_rounds(n);
-  const int b2 = congest_global_stage2_rounds(n);
+  const int budget = ctx.link_budget();
+  const std::int64_t round = step_ + 1;
+  const std::int64_t b1 = congest_global_stage1_rounds(n, budget);
+  const std::int64_t b2 = congest_global_stage2_rounds(n, budget);
+  // Under deferral with B < 2, a 2-word record needs `stride` rounds on a
+  // link; sending only on stride boundaries keeps every link drained by
+  // its next send slot, so records arrive in order and within the stage.
+  const int stride = congest_global_record_stride(budget);
   if (round < b1) {
     // Flood the minimum identifier (1 word, only when it improved).
     if (best_dirty_) {
@@ -38,7 +60,8 @@ void CongestGlobalMisPhase::on_send(NodeContext& ctx, Channel& ch) {
     // Parent notification: tell the BFS parent it has this child.
     if (parent_ != kNoNode) ch.send(parent_, {0});
   } else if (round <= b1 + b2) {
-    // Convergecast: one 2-word record per round toward the leader.
+    // Convergecast: one 2-word record per send slot toward the leader.
+    if ((round - (b1 + 1)) % stride != 0) return;
     if (parent_ != kNoNode && !pending_up_.empty()) {
       auto it = pending_up_.begin();
       ch.send(parent_, {it->first, it->second});
@@ -70,6 +93,7 @@ void CongestGlobalMisPhase::on_send(NodeContext& ctx, Channel& ch) {
       }
       DGAP_ASSERT(my_bit_ != kUndefined, "leader must assign itself");
     }
+    if ((round - (b1 + b2 + 1)) % stride != 0) return;
     if (next_down_ < pending_down_.size()) {
       const auto [id, bit] = pending_down_[next_down_++];
       for (NodeId child : children_) ch.send(child, {id, bit});
@@ -81,11 +105,12 @@ PhaseProgram::Status CongestGlobalMisPhase::on_receive(NodeContext& ctx,
                                                        Channel& ch) {
   ensure_init(ctx);
   const NodeId n = ctx.n();
+  const int budget = ctx.link_budget();
   ++step_;
-  const int round = step_;
-  const int b1 = congest_global_stage1_rounds(n);
-  const int b2 = congest_global_stage2_rounds(n);
-  const int total = congest_global_total_rounds(n);
+  const std::int64_t round = step_;
+  const std::int64_t b1 = congest_global_stage1_rounds(n, budget);
+  const std::int64_t b2 = congest_global_stage2_rounds(n, budget);
+  const std::int64_t total = congest_global_total_rounds(n, budget);
 
   auto absorb_record = [this](Value a, Value b) {
     if (a == b) {

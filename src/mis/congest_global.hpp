@@ -20,8 +20,16 @@
 // an O(n²) round bound (the price of universality without structure).
 // The schedule is a pure function of n, so the phase drops into the
 // Consecutive template as a reference algorithm.
+//
+// Under enforced deferral (CongestPolicy::kDefer) with a budget below 2
+// words, a 2-word record needs ceil(2/B) rounds to cross a link, so the
+// record-bearing stages (2 and 3) pace their sends with that stride and
+// stretch their budgets accordingly; the schedule stays a pure function of
+// (n, B), where B = ctx.link_budget() is global and round-invariant.
+// Stage 1 sends single words and never stretches (B >= 1 always).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -29,11 +37,18 @@
 
 namespace dgap {
 
-/// Exact stage budgets (all a function of n only).
-int congest_global_stage1_rounds(NodeId n);
-int congest_global_stage2_rounds(NodeId n);
-int congest_global_stage3_rounds(NodeId n);
-int congest_global_total_rounds(NodeId n);
+/// Rounds between send opportunities of the 2-word record stages under a
+/// deferral budget of `link_budget` words (= ceil(2 / B)); 1 when
+/// unenforced (link_budget <= 0) or B >= 2.
+int congest_global_record_stride(int link_budget);
+
+/// Exact stage budgets — pure functions of (n, link_budget), widened to
+/// int64 because stage 2 is quadratic in n. `link_budget` is
+/// NodeContext::link_budget(): 0 unless deferral is enforced.
+std::int64_t congest_global_stage1_rounds(NodeId n, int link_budget = 0);
+std::int64_t congest_global_stage2_rounds(NodeId n, int link_budget = 0);
+std::int64_t congest_global_stage3_rounds(NodeId n, int link_budget = 0);
+std::int64_t congest_global_total_rounds(NodeId n, int link_budget = 0);
 
 class CongestGlobalMisPhase final : public PhaseProgram {
  public:
@@ -42,10 +57,9 @@ class CongestGlobalMisPhase final : public PhaseProgram {
 
  private:
   void ensure_init(NodeContext& ctx);
-  int stage(const NodeContext& ctx) const;
 
   bool init_ = false;
-  int step_ = 0;
+  std::int64_t step_ = 0;
 
   // Stage 1 state.
   Value best_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "graph/properties.hpp"
+#include "sim/link_layer.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace dgap {
@@ -161,6 +162,17 @@ Value NodeContext::output_for(NodeId key) const {
   return lookup_edge_output(engine_->nodes_[index_].edge_outputs, key);
 }
 
+std::int64_t NodeContext::link_backlog(NodeId u) const {
+  DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
+  if (!engine_->link_) return 0;
+  return engine_->link_->backlog_words(index_, u);
+}
+
+int NodeContext::link_budget() const {
+  if (engine_->options_.congest_policy != CongestPolicy::kDefer) return 0;
+  return engine_->options_.congest_word_limit;
+}
+
 void NodeContext::terminate() {
   auto& st = engine_->nodes_[index_];
   DGAP_REQUIRE(st.output != kUndefined || !st.edge_outputs.empty(),
@@ -199,19 +211,18 @@ Engine::Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.congest_policy != CongestPolicy::kCount) {
+    link_ = std::make_unique<detail::LinkLayer>(g, options_.congest_policy,
+                                                options_.congest_word_limit);
+  }
 }
 
 Engine::~Engine() = default;
 
 void Engine::charge(std::size_t payload_words, int channel) {
-  ++metrics_.total_messages;
-  // Channel tags model an extra field inside the message.
-  const int width = static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
-  metrics_.total_words += width;
-  metrics_.max_message_words = std::max(metrics_.max_message_words, width);
-  if (options_.congest_word_limit > 0 && width > options_.congest_word_limit) {
-    ++metrics_.congest_violations;
-  }
+  detail::CongestAccount acct;
+  acct.charge(payload_words, channel, options_.congest_word_limit);
+  acct.fold_into(metrics_);
 }
 
 template <typename Body>
@@ -276,11 +287,9 @@ void Engine::deliver_round_messages() {
   // and accumulates the metrics locally, folding them in once per round.
   bool channels_monotone = true;
   std::size_t arena_words = 0;
-  std::int64_t round_messages = 0;
-  std::int64_t round_words = 0;
-  int max_width = metrics_.max_message_words;
-  std::int64_t violations = 0;
+  detail::CongestAccount acct;  // same accounting as charge()
   const int congest_limit = options_.congest_word_limit;
+  const bool enforce = link_ != nullptr;
   touched_receivers_.clear();
   std::uint32_t delivered = 0;
   for (auto& sh : shards_) {
@@ -290,22 +299,16 @@ void Engine::deliver_round_messages() {
     const Value* base = sh.arena.data();
     for (auto& r : sh.sends) {
       r.words = base + r.offset;
-      ++round_messages;
-      // Channel tags model an extra field inside the message (cf. charge()).
-      const int width = static_cast<int>(r.len) + (r.channel != 0 ? 1 : 0);
-      round_words += width;
-      if (width > max_width) max_width = width;
-      if (congest_limit > 0 && width > congest_limit) ++violations;
-      if (node_active_[r.to]) {
+      acct.charge(r.len, r.channel, congest_limit);
+      // Under an enforcing policy the link layer decides what arrives this
+      // round; the receiver counting below only feeds the fast-path scatter.
+      if (!enforce && node_active_[r.to]) {
         if (recv_count_[r.to]++ == 0) touched_receivers_.push_back(r.to);
         ++delivered;
       }
     }
   }
-  metrics_.total_messages += round_messages;
-  metrics_.total_words += round_words;
-  metrics_.max_message_words = max_width;
-  metrics_.congest_violations += violations;
+  acct.fold_into(metrics_);
   peak_arena_words_ = std::max(peak_arena_words_, arena_words);
 
   // The shard buffers are ordered by (sender, send order). The required
@@ -328,6 +331,11 @@ void Engine::deliver_round_messages() {
                      });
   }
 
+  if (enforce) {
+    deliver_enforced();
+    return;
+  }
+
   // Counting-sort scatter by receiver (counting ran fused with the resolve
   // pass above). Grouping receivers in first-touch order (rather than
   // ascending) keeps this O(messages), not O(n); the stable scatter
@@ -347,6 +355,41 @@ void Engine::deliver_round_messages() {
     inbox_flat_[ref.begin + ref.count++] =
         Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len)};
   });
+}
+
+void Engine::deliver_enforced() {
+  // Feed the round's sends to the link layer in canonical (sender, channel,
+  // send order) — ingest() runs after the channel-repair sort above, so the
+  // per-link FIFO queues inherit exactly the fast path's order. All link
+  // state mutation is serial; num_threads cannot influence the schedule.
+  auto& link = *link_;
+  link.begin_round(round_);
+  for_each_send([&](const detail::SendRecord& r) {
+    link.ingest(r, node_active_.data());
+  });
+  link.finish_round(node_active_.data());
+
+  // Counting-sort scatter of the cleared messages. The link layer emits
+  // them with ascending senders and FIFO per link, so each receiver's slice
+  // comes out in (sender, channel, send order) like the fast path — for
+  // carried-over traffic, ordered by the round the words finished crossing.
+  const auto& deliveries = link.deliveries();
+  for (const auto& d : deliveries) {
+    if (recv_count_[d.to]++ == 0) touched_receivers_.push_back(d.to);
+  }
+  std::uint32_t cursor = 0;
+  for (const NodeId to : touched_receivers_) {
+    inbox_ref_[to] = {cursor, 0, round_};
+    cursor += recv_count_[to];
+    recv_count_[to] = 0;  // restore the all-zero invariant for next round
+  }
+  inbox_flat_.resize(deliveries.size());
+  for (const auto& d : deliveries) {
+    auto& ref = inbox_ref_[d.to];
+    inbox_flat_[ref.begin + ref.count++] =
+        Message{d.from, static_cast<int>(d.channel), WordSpan(d.words, d.len),
+                d.truncated};
+  }
 }
 
 void Engine::receive_phase() {
@@ -438,6 +481,7 @@ RunResult Engine::run() {
   result.total_words = metrics_.total_words;
   result.max_message_words = metrics_.max_message_words;
   result.congest_violations = metrics_.congest_violations;
+  if (link_) link_->export_metrics(result);
   result.active_per_round = std::move(metrics_.active_per_round);
   result.terminations_per_round = std::move(metrics_.terminations_per_round);
   result.peak_arena_bytes =

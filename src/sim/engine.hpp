@@ -30,16 +30,35 @@
 
 namespace dgap {
 
+/// What the engine does with traffic that exceeds the per-link CONGEST
+/// budget (`EngineOptions::congest_word_limit`, in words per directed edge
+/// per round). See docs/MODEL.md, "CONGEST enforcement semantics".
+enum class CongestPolicy {
+  /// Audit only (default): violations are counted, delivery is unaffected.
+  kCount,
+  /// Enforce by store-and-forward: a link transmits at most B words per
+  /// round; excess queues FIFO per link and arrives in a later round.
+  kDefer,
+  /// Enforce by loss: words beyond the link's remaining round budget are
+  /// dropped and the delivered message is marked `Message::truncated`.
+  kTruncate,
+  /// Enforce by contract: an over-budget send throws (DGAP_REQUIRE).
+  kFail,
+};
+
 /// A message delivered within a round. `channel` is a multiplexing tag used
 /// by composed algorithms (the Parallel template runs two sub-algorithms
 /// whose traffic must not be confused); it models field(s) inside the
 /// message, and its width is charged as one extra word whenever nonzero.
 /// `words` is a borrowed view into the engine's round arena — valid only
 /// during this round's receive phase; copy words out to keep them.
+/// `truncated` is set only under CongestPolicy::kTruncate, on messages
+/// that lost words to the link budget.
 struct Message {
   NodeId from = kNoNode;  // sender's internal index
   int channel = 0;
   WordSpan words;
+  bool truncated = false;
 };
 
 class Engine;
@@ -68,6 +87,8 @@ struct SendShard {
   bool channels_monotone = true;  // every sender's channels non-decreasing?
   int last_channel = 0;           // channel of the current node's last send
 };
+
+class LinkLayer;  // per-edge bandwidth scheduler (sim/link_layer.hpp)
 
 }  // namespace detail
 
@@ -133,6 +154,16 @@ class NodeContext {
   /// This node's own edge-keyed output (kUndefined if unset).
   Value output_for(NodeId key) const;
 
+  /// Words still in flight (sent but not yet delivered) on this node's
+  /// link to neighbor u, so programs can observe congestion. Nonzero only
+  /// under CongestPolicy::kDefer.
+  std::int64_t link_backlog(NodeId u) const;
+  /// The per-link word budget this run defers excess traffic against, or 0
+  /// when delivery is same-round (count / truncate / fail policies).
+  /// Budget-aware schedules stretch their stages by this (it is global and
+  /// round-invariant, so schedules stay pure functions of the instance).
+  int link_budget() const;
+
   /// Terminate at the end of this round. Requires at least one output to
   /// have been assigned ("immediately after node i has assigned values to
   /// all its output variables, it terminates").
@@ -170,7 +201,13 @@ struct EngineOptions {
   int max_rounds = 1'000'000;
   /// If > 0, messages wider than this many words are counted as CONGEST
   /// violations (the run still proceeds; benches report the counter).
+  /// Under an enforcing congest_policy this is the hard per-round word
+  /// budget of every directed edge and must be positive.
   int congest_word_limit = 0;
+  /// What over-budget traffic does. The default (kCount) is the audit-only
+  /// path, bit-identical to the engine before link-layer enforcement
+  /// existed; any other value requires congest_word_limit > 0.
+  CongestPolicy congest_policy = CongestPolicy::kCount;
   /// Record the number of active nodes at the start of every round.
   bool record_active_per_round = false;
   /// Record which nodes terminated in each round (RunResult::
@@ -192,6 +229,20 @@ struct RunResult {
   std::int64_t total_words = 0;
   int max_message_words = 0;
   std::int64_t congest_violations = 0;
+  // --- link-layer enforcement metrics (all zero under kCount) ---
+  /// Messages that missed their send round under kDefer, and the words
+  /// they had to carry into later rounds.
+  std::int64_t deferred_messages = 0;
+  std::int64_t deferred_words = 0;
+  /// Messages that lost words under kTruncate, and the words dropped.
+  std::int64_t truncated_messages = 0;
+  std::int64_t truncated_words = 0;
+  /// High-water mark of any single link's carry-over queue, in words.
+  std::int64_t link_backlog_peak_words = 0;
+  /// Rounds that began with words still in flight — the gap between the
+  /// run's effective round count (`rounds`) and the algorithm's nominal
+  /// schedule is spent in these rounds.
+  std::int64_t rounds_with_backlog = 0;
   std::vector<int> active_per_round;     // if requested
   /// terminations_per_round[r-1] = nodes that terminated in round r
   /// (only filled when EngineOptions::record_terminations is set).
@@ -246,6 +297,9 @@ class Engine {
   void run_sharded(const Body& body);
   void send_phase();
   void deliver_round_messages();
+  /// Enforcing-policy tail of delivery: route the round's sends through the
+  /// link layer and scatter what it clears into the inboxes.
+  void deliver_enforced();
   template <typename Fn>
   void for_each_send(const Fn& fn) const;
   void receive_phase();
@@ -274,6 +328,9 @@ class Engine {
   std::vector<std::uint32_t> recv_count_;   // scratch; all-zero between rounds
   std::vector<NodeId> touched_receivers_;   // receivers seen this round
   std::unique_ptr<ThreadPool> pool_;        // workers when num_threads > 1
+  // Bandwidth scheduler; only constructed for enforcing policies, so the
+  // default (kCount) data plane is untouched by the link layer.
+  std::unique_ptr<detail::LinkLayer> link_;
   std::size_t peak_arena_words_ = 0;
 };
 

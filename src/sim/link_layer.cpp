@@ -1,0 +1,192 @@
+#include "sim/link_layer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/require.hpp"
+
+namespace dgap::detail {
+
+LinkLayer::LinkLayer(const Graph& g, CongestPolicy policy, int budget_words)
+    : graph_(g),
+      policy_(policy),
+      budget_(static_cast<std::uint32_t>(budget_words)) {
+  DGAP_REQUIRE(policy != CongestPolicy::kCount,
+               "the count policy needs no link layer");
+  DGAP_REQUIRE(budget_words > 0,
+               "enforcing congest policies need a positive word budget "
+               "(EngineOptions::congest_word_limit)");
+  const NodeId n = g.num_nodes();
+  link_offset_.resize(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    link_offset_[static_cast<std::size_t>(v) + 1] =
+        link_offset_[v] + g.neighbors(v).size();
+  }
+  const std::size_t total_links = link_offset_.back();
+  if (policy_ == CongestPolicy::kDefer) {
+    links_.resize(total_links);
+    queued_flag_.assign(total_links, 0);
+  } else {
+    used_.assign(total_links, 0);
+  }
+}
+
+std::size_t LinkLayer::link_index(NodeId from, NodeId to) const {
+  const auto& nb = graph_.neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  DGAP_ASSERT(it != nb.end() && *it == to, "send to a non-neighbor link");
+  return link_offset_[from] +
+         static_cast<std::size_t>(std::distance(nb.begin(), it));
+}
+
+void LinkLayer::begin_round(int round) {
+  round_ = round;
+  deliveries_.clear();
+  delivered_store_.clear();
+  for (const std::size_t link : used_touched_) used_[link] = 0;
+  used_touched_.clear();
+  // Carry-over in flight at the start of a round marks it as a stretch
+  // round — the effective-vs-nominal gap reported by rounds_with_backlog.
+  if (total_backlog_ > 0) ++rounds_with_backlog_;
+}
+
+void LinkLayer::deliver(NodeId to, NodeId from, std::int32_t channel,
+                        const Value* words, std::uint32_t len,
+                        bool truncated) {
+  deliveries_.push_back({to, from, channel, len, words, truncated});
+}
+
+void LinkLayer::ingest(const SendRecord& r, const std::uint8_t* node_active) {
+  const std::size_t link = link_index(r.from, r.to);
+  const auto width =
+      static_cast<std::uint32_t>(message_width(r.len, r.channel));
+  switch (policy_) {
+    case CongestPolicy::kDefer: {
+      // Queue on the link; transmission happens in finish_round so that
+      // carried-over traffic always precedes this round's sends (FIFO).
+      auto& link_state = links_[link];
+      Pending p;
+      p.to = r.to;
+      p.from = r.from;
+      p.channel = r.channel;
+      p.words_remaining = width;
+      p.sent_round = round_;
+      p.payload.assign(r.words, r.words + r.len);
+      link_state.q.push_back(std::move(p));
+      link_state.backlog += width;
+      total_backlog_ += width;
+      if (!queued_flag_[link]) {
+        queued_flag_[link] = 1;
+        candidates_.push_back(link);
+      }
+      break;
+    }
+    case CongestPolicy::kTruncate: {
+      // The message arrives this round regardless; only the words beyond
+      // the link's remaining budget are lost. A nonzero channel tag is
+      // transmitted first (the receiver needs it to route the message).
+      used_touched_.push_back(link);
+      const std::uint32_t avail = budget_ - used_[link];
+      const std::uint32_t consumed = std::min(width, avail);
+      used_[link] += consumed;
+      std::uint32_t payload_len = consumed;
+      if (r.channel != 0) payload_len = consumed > 0 ? consumed - 1 : 0;
+      const bool truncated = consumed < width;
+      if (truncated) {
+        ++truncated_messages_;
+        truncated_words_ += width - consumed;
+      }
+      if (node_active[r.to]) {
+        deliver(r.to, r.from, r.channel, r.words, payload_len, truncated);
+      }
+      break;
+    }
+    case CongestPolicy::kFail: {
+      used_touched_.push_back(link);
+      DGAP_REQUIRE(
+          used_[link] + width <= budget_,
+          "CONGEST budget exceeded: node id " +
+              std::to_string(graph_.id(r.from)) + " sent " +
+              std::to_string(width) + " word(s) to neighbor id " +
+              std::to_string(graph_.id(r.to)) + " in round " +
+              std::to_string(round_) + " with " +
+              std::to_string(used_[link]) + " already on the link (budget " +
+              std::to_string(budget_) + " words per link per round)");
+      used_[link] += width;
+      if (node_active[r.to]) {
+        deliver(r.to, r.from, r.channel, r.words, r.len, false);
+      }
+      break;
+    }
+    case CongestPolicy::kCount:
+      DGAP_ASSERT(false, "unreachable: kCount has no link layer");
+  }
+}
+
+void LinkLayer::finish_round(const std::uint8_t* node_active) {
+  if (policy_ != CongestPolicy::kDefer) return;
+  // Service links in ascending (sender, neighbor) order so the delivery
+  // list is receiver-scatter-ready: per receiver, senders ascend and each
+  // link's messages stay FIFO.
+  std::sort(candidates_.begin(), candidates_.end());
+  std::vector<std::size_t> still_queued;
+  for (const std::size_t link : candidates_) {
+    auto& ls = links_[link];
+    std::uint32_t left = budget_;
+    while (ls.head < ls.q.size()) {
+      Pending& p = ls.q[ls.head];
+      const std::uint32_t take = std::min(left, p.words_remaining);
+      p.words_remaining -= take;
+      ls.backlog -= take;
+      total_backlog_ -= take;
+      left -= take;
+      if (p.words_remaining > 0) break;  // budget exhausted mid-message
+      // Fully transmitted: deliver now — unless the receiver terminated
+      // while the words were in flight (they occupied the link and were
+      // charged at send time, but a terminated node has no receive phase).
+      if (node_active[p.to]) {
+        const auto len = static_cast<std::uint32_t>(p.payload.size());
+        delivered_store_.push_back(std::move(p.payload));
+        // The heap buffer is stable even as delivered_store_ grows.
+        deliver(p.to, p.from, p.channel, delivered_store_.back().data(), len,
+                false);
+      }
+      ++ls.head;
+    }
+    // Whatever survives the round was deferred; count each message once,
+    // in its send round, by the words it had to carry over.
+    for (std::size_t i = ls.head; i < ls.q.size(); ++i) {
+      if (ls.q[i].sent_round != round_) continue;
+      ++deferred_messages_;
+      deferred_words_ += ls.q[i].words_remaining;
+    }
+    backlog_peak_ = std::max(backlog_peak_, ls.backlog);
+    if (ls.head == ls.q.size()) {
+      ls.q.clear();
+      ls.head = 0;
+      queued_flag_[link] = 0;
+    } else {
+      ls.q.erase(ls.q.begin(),
+                 ls.q.begin() + static_cast<std::ptrdiff_t>(ls.head));
+      ls.head = 0;
+      still_queued.push_back(link);
+    }
+  }
+  candidates_.swap(still_queued);
+}
+
+std::int64_t LinkLayer::backlog_words(NodeId from, NodeId to) const {
+  if (policy_ != CongestPolicy::kDefer) return 0;
+  return links_[link_index(from, to)].backlog;
+}
+
+void LinkLayer::export_metrics(RunResult& m) const {
+  m.deferred_messages = deferred_messages_;
+  m.deferred_words = deferred_words_;
+  m.truncated_messages = truncated_messages_;
+  m.truncated_words = truncated_words_;
+  m.link_backlog_peak_words = backlog_peak_;
+  m.rounds_with_backlog = rounds_with_backlog_;
+}
+
+}  // namespace dgap::detail

@@ -1,0 +1,175 @@
+// The engine's link layer: per-directed-edge bandwidth budgets realizing
+// the CONGEST model's O(log n)-bit channels (Section 2) as an enforced
+// constraint instead of an after-the-fact audit.
+//
+// The default engine path only *counts*: every message is charged to the
+// metrics and a width over `EngineOptions::congest_word_limit` increments
+// the violation counter, but delivery is unaffected
+// (CongestPolicy::kCount). The LinkLayer implements the enforcing
+// policies, where the limit becomes a hard per-round word budget B on
+// every directed edge:
+//
+//   * kDefer    — a link transmits at most B words per round; excess
+//                 traffic queues FIFO per link (store-and-forward) and a
+//                 message arrives in the round its last word is
+//                 transmitted, so a w-word message occupies the link for
+//                 ceil(w / B) rounds;
+//   * kTruncate — messages always arrive in their send round, but words
+//                 beyond the link's remaining round budget are dropped and
+//                 the message is marked `Message::truncated`;
+//   * kFail     — an over-budget send is a model violation: DGAP_REQUIRE
+//                 fails, identifying the offending link and round.
+//
+// Determinism by construction: fresh sends are ingested in the engine's
+// canonical (sender, channel, send order); links transmit in ascending
+// (sender, neighbor) order; and all link-state mutation happens in the
+// serial delivery step between the (possibly parallel) send and receive
+// phases, so `num_threads` cannot influence the schedule. The full
+// contract lives in docs/MODEL.md, "CONGEST enforcement semantics";
+// tests/engine_test.cpp and tests/engine_determinism_test.cpp pin it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dgap::detail {
+
+/// One message's width in words: the payload plus the channel-tag field
+/// (a nonzero channel models an extra field inside the message).
+inline int message_width(std::size_t payload_words, int channel) {
+  return static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
+}
+
+/// Message-metric accumulator shared by every accounting site — the serial
+/// notice charges, the fused delivery loop, and the link scheduler — so
+/// the CONGEST bookkeeping cannot drift between the paths.
+struct CongestAccount {
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+  int max_width = 0;
+  std::int64_t violations = 0;
+
+  /// Charge one message. `word_limit` <= 0 disables violation counting.
+  void charge(std::size_t payload_words, int channel, int word_limit) {
+    ++messages;
+    const int width = message_width(payload_words, channel);
+    words += width;
+    if (width > max_width) max_width = width;
+    if (word_limit > 0 && width > word_limit) ++violations;
+  }
+
+  /// Fold the accumulated counters into the run metrics.
+  void fold_into(RunResult& m) const {
+    m.total_messages += messages;
+    m.total_words += words;
+    m.max_message_words = std::max(m.max_message_words, max_width);
+    m.congest_violations += violations;
+  }
+};
+
+/// A message the link layer cleared for delivery this round. `words` stays
+/// valid through the round's receive phase (it points into either the
+/// producing shard's arena or the link layer's carry-over store).
+struct DeliveredMessage {
+  NodeId to = kNoNode;
+  NodeId from = kNoNode;
+  std::int32_t channel = 0;
+  std::uint32_t len = 0;
+  const Value* words = nullptr;
+  bool truncated = false;
+};
+
+/// Deterministic per-directed-edge bandwidth scheduler. One instance per
+/// engine run; only constructed when an enforcing policy is selected, so
+/// the default (kCount) data plane carries no link-layer overhead at all.
+class LinkLayer {
+ public:
+  LinkLayer(const Graph& g, CongestPolicy policy, int budget_words);
+
+  /// Start a round: reset per-round budgets and release last round's
+  /// delivered payload storage.
+  void begin_round(int round);
+
+  /// Feed one fresh send (canonical order). kTruncate / kFail resolve it
+  /// immediately; kDefer queues it on its link.
+  void ingest(const SendRecord& r, const std::uint8_t* node_active);
+
+  /// Transmit queued traffic within each link's budget (kDefer only; a
+  /// no-op for the other policies). Must run after every ingest() of the
+  /// round and before deliveries() is read.
+  void finish_round(const std::uint8_t* node_active);
+
+  /// This round's cleared messages, grouped receiver-scatter-ready:
+  /// ascending sender, FIFO per link. Receivers are already filtered to
+  /// active nodes.
+  const std::vector<DeliveredMessage>& deliveries() const {
+    return deliveries_;
+  }
+
+  /// Words still queued (sent but not yet delivered) on the directed link
+  /// from -> to, as of the most recent delivery step. Zero outside kDefer.
+  std::int64_t backlog_words(NodeId from, NodeId to) const;
+
+  /// Export the enforcement metrics into a finished run's result.
+  void export_metrics(RunResult& m) const;
+
+ private:
+  /// One send waiting on (or in transit over) a link. The payload words
+  /// are owned (copied out of the round arena), because the queue must
+  /// survive the per-round slab reset.
+  struct Pending {
+    NodeId to = kNoNode;
+    NodeId from = kNoNode;
+    std::int32_t channel = 0;
+    std::uint32_t words_remaining = 0;  // untransmitted width incl. tag
+    int sent_round = 0;
+    std::vector<Value> payload;
+  };
+
+  /// FIFO state of one directed edge (kDefer only).
+  struct Link {
+    std::vector<Pending> q;  // [head_, end) is the live queue
+    std::size_t head = 0;
+    std::int64_t backlog = 0;  // sum of words_remaining over the queue
+  };
+
+  std::size_t link_index(NodeId from, NodeId to) const;
+  void deliver(NodeId to, NodeId from, std::int32_t channel,
+               const Value* words, std::uint32_t len, bool truncated);
+
+  const Graph& graph_;
+  const CongestPolicy policy_;
+  const std::uint32_t budget_;
+  int round_ = 0;
+
+  // CSR over directed edges: out-link j of node v is the edge to
+  // g.neighbors(v)[j], numbered link_offset_[v] + j.
+  std::vector<std::size_t> link_offset_;
+
+  // kDefer state.
+  std::vector<Link> links_;
+  std::vector<std::size_t> candidates_;     // links to service this round
+  std::vector<std::uint8_t> queued_flag_;   // link already in candidates_?
+  std::int64_t total_backlog_ = 0;          // words carried across rounds
+  // Payloads of messages delivered this round, kept alive through the
+  // receive phase (their heap buffers are stable under vector growth).
+  std::vector<std::vector<Value>> delivered_store_;
+
+  // kTruncate / kFail state: per-link words consumed this round.
+  std::vector<std::uint32_t> used_;
+  std::vector<std::size_t> used_touched_;
+
+  std::vector<DeliveredMessage> deliveries_;
+
+  // Enforcement metrics (see RunResult).
+  std::int64_t deferred_messages_ = 0;
+  std::int64_t deferred_words_ = 0;
+  std::int64_t truncated_messages_ = 0;
+  std::int64_t truncated_words_ = 0;
+  std::int64_t backlog_peak_ = 0;
+  std::int64_t rounds_with_backlog_ = 0;
+};
+
+}  // namespace dgap::detail

@@ -102,7 +102,9 @@ ProgramFactory mis_consecutive_congest() {
   return consecutive_template(
       make_mis_init(), make_greedy_mis(), make_mis_cleanup(),
       make_congest_global_mis(), [](NodeId n, int, std::int64_t) {
-        return congest_global_total_rounds(n) + kMisCleanupRounds;
+        // Nominal (unenforced) budget: small-n schedules fit in int.
+        return static_cast<int>(congest_global_total_rounds(n)) +
+               kMisCleanupRounds;
       });
 }
 

@@ -98,5 +98,66 @@ TEST(CongestGlobal, ConsecutiveTemplateAssembly) {
   }
 }
 
+TEST(CongestGlobal, RoundBudgetsAreInt64Safe) {
+  // n² at n = 100'000 overflows int32; the budget functions must not.
+  EXPECT_EQ(congest_global_stage2_rounds(100'000), 10'000'000'000LL);
+  EXPECT_EQ(congest_global_total_rounds(100'000),
+            100'001LL + 10'000'000'000LL + 200'002LL);
+  // Stretched variant doubles the record stages only.
+  EXPECT_EQ(congest_global_record_stride(1), 2);
+  EXPECT_EQ(congest_global_record_stride(2), 1);
+  EXPECT_EQ(congest_global_record_stride(0), 1);
+  EXPECT_EQ(congest_global_stage1_rounds(100'000, 1), 100'001LL);
+  EXPECT_EQ(congest_global_stage2_rounds(100'000, 1), 20'000'000'000LL);
+  EXPECT_EQ(congest_global_stage3_rounds(100'000, 1), 400'004LL);
+}
+
+TEST(CongestGlobal, HonestUnderEnforcedTwoWordBudget) {
+  // The acceptance run: a real 2-word-per-link budget (defer policy). The
+  // protocol sends at most one <= 2-word message per link per round, so
+  // nothing defers and the enforced run equals the audited one exactly.
+  Rng rng(6);
+  Graph g = make_random_connected(16, 10, rng);
+  randomize_ids(g, rng);
+  auto audited = run_algorithm(g, congest_global_mis_algorithm());
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(g, congest_global_mis_algorithm(), opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_valid_mis(g, result.outputs)) << check_mis(g, result.outputs);
+  EXPECT_EQ(result.congest_violations, 0);
+  EXPECT_EQ(result.deferred_messages, 0);
+  EXPECT_EQ(result.rounds_with_backlog, 0);
+  EXPECT_EQ(result.rounds, congest_global_total_rounds(g.num_nodes(), 2));
+  EXPECT_EQ(result.rounds, audited.rounds);
+  EXPECT_EQ(result.outputs, audited.outputs);
+  EXPECT_EQ(result.total_words, audited.total_words);
+}
+
+TEST(CongestGlobal, StretchedScheduleUnderOneWordBudget) {
+  // Below the 2-word record width the protocol stretches stages 2 and 3
+  // by the record stride; records then need two rounds per link and the
+  // run leans on the deferral scheduler every record.
+  Rng rng(8);
+  for (auto make : {+[]() { return make_line(7); },
+                    +[]() { return make_clique(5); },
+                    +[]() { return make_grid(3, 3); }}) {
+    Graph g = make();
+    randomize_ids(g, rng);
+    EngineOptions opt;
+    opt.congest_policy = CongestPolicy::kDefer;
+    opt.congest_word_limit = 1;
+    auto result = run_algorithm(g, congest_global_mis_algorithm(), opt);
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_valid_mis(g, result.outputs))
+        << check_mis(g, result.outputs);
+    EXPECT_EQ(result.rounds, congest_global_total_rounds(g.num_nodes(), 1));
+    EXPECT_GT(result.deferred_messages, 0);
+    // A link never buffers more than one record's carried-over word.
+    EXPECT_LE(result.link_backlog_peak_words, 1);
+  }
+}
+
 }  // namespace
 }  // namespace dgap

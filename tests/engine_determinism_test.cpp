@@ -9,12 +9,18 @@
 //  3. Algorithms break symmetry by identifiers, never internal indices, so
 //     permuting the internal node order yields the same per-identifier
 //     outputs and the same global metrics.
+//  4. The link layer (enforcing congest policies) preserves all of the
+//     above: its schedule is computed serially between the sharded send
+//     and receive phases, so num_threads and node-order shuffles cannot
+//     change what arrives when.
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
+#include "mis/checkers.hpp"
+#include "mis/congest_global.hpp"
 #include "random/luby.hpp"
 #include "sim/engine.hpp"
 
@@ -34,6 +40,12 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.total_words, b.total_words);
   EXPECT_EQ(a.max_message_words, b.max_message_words);
   EXPECT_EQ(a.congest_violations, b.congest_violations);
+  EXPECT_EQ(a.deferred_messages, b.deferred_messages);
+  EXPECT_EQ(a.deferred_words, b.deferred_words);
+  EXPECT_EQ(a.truncated_messages, b.truncated_messages);
+  EXPECT_EQ(a.truncated_words, b.truncated_words);
+  EXPECT_EQ(a.link_backlog_peak_words, b.link_backlog_peak_words);
+  EXPECT_EQ(a.rounds_with_backlog, b.rounds_with_backlog);
   EXPECT_EQ(a.active_per_round, b.active_per_round);
   EXPECT_EQ(a.terminations_per_round, b.terminations_per_round);
 }
@@ -108,6 +120,105 @@ TEST(EngineDeterminism, NodeOrderShuffleInvariantPerIdentifier) {
     EXPECT_EQ(base.active_per_round, shuffled.active_per_round);
 
     // Per-node quantities must match after translating indices to ids.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(base.outputs[v], shuffled.outputs[perm[v]])
+          << "output of id " << g.id(v);
+      EXPECT_EQ(base.termination_round[v], shuffled.termination_round[perm[v]])
+          << "termination round of id " << g.id(v);
+    }
+  }
+}
+
+/// A bandwidth-hungry workload for the deferral scheduler: every node
+/// broadcasts a 4-word burst for three rounds and stays active until it
+/// has received all 3 * degree bursts, folding every delivered word (and
+/// its arrival round) into an order-sensitive digest. Under a budget
+/// below 4 the link layer must spread the bursts over many rounds, and
+/// any scheduling nondeterminism changes some node's digest.
+class BurstEchoProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext& ctx) override {
+    if (ctx.round() <= 3) {
+      ctx.broadcast({ctx.id(), Value{ctx.round()}, 7, 9});
+    }
+  }
+  void on_receive(NodeContext& ctx) override {
+    for (const Message& m : ctx.inbox()) {
+      ++received_;
+      digest_ = digest_ * 1315423911u + static_cast<std::uint64_t>(m.from);
+      for (std::size_t i = 0; i < m.words.size(); ++i) {
+        digest_ = digest_ * 31u + static_cast<std::uint64_t>(m.words.at(i));
+      }
+      digest_ = digest_ * 31u + static_cast<std::uint64_t>(ctx.round());
+    }
+    if (received_ >= 3 * ctx.degree()) {
+      ctx.set_output(static_cast<Value>(digest_ >> 1));
+      ctx.terminate();
+    }
+  }
+
+ private:
+  int received_ = 0;
+  std::uint64_t digest_ = 1;
+};
+
+TEST(EngineDeterminism, DeferPolicyThreadCountInvariant) {
+  Graph g = test_graph();
+  EngineOptions opt = recording_options(1);
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 3;  // below the burst width: every send defers
+  auto factory = [](NodeId) { return std::make_unique<BurstEchoProgram>(); };
+  auto serial = run_algorithm(g, factory, opt);
+  ASSERT_TRUE(serial.completed);
+  EXPECT_GT(serial.deferred_words, 0);
+  EXPECT_GT(serial.rounds_with_backlog, 0);
+  auto repeat = run_algorithm(g, factory, opt);
+  expect_identical(serial, repeat);
+  for (int threads : {2, 4}) {
+    opt.num_threads = threads;
+    auto parallel = run_algorithm(g, factory, opt);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(EngineDeterminism, DeferPolicyShuffleInvariantPerIdentifier) {
+  // congest_global under a 1-word budget exercises the stretched schedule
+  // and per-link carry-over; the deferral pattern is a function of the
+  // logical graph, so internal node order must not leak into any metric.
+  Rng graph_rng(7);
+  Graph g = make_random_connected(24, 12, graph_rng);
+  randomize_ids(g, graph_rng);
+  EngineOptions opt = recording_options(1);
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 1;
+  auto base = run_algorithm(g, congest_global_mis_algorithm(), opt);
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(is_valid_mis(g, base.outputs));
+  EXPECT_GT(base.deferred_messages, 0);
+
+  for (int threads : {2, 4}) {
+    EngineOptions topt = opt;
+    topt.num_threads = threads;
+    auto parallel = run_algorithm(g, congest_global_mis_algorithm(), topt);
+    expect_identical(base, parallel);
+  }
+
+  Rng rng(99);
+  for (int trial = 0; trial < 2; ++trial) {
+    std::vector<NodeId> perm(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) perm[v] = v;
+    rng.shuffle(perm);
+    Graph h = permute_indices(g, perm);
+    auto shuffled = run_algorithm(h, congest_global_mis_algorithm(), opt);
+    EXPECT_EQ(base.completed, shuffled.completed);
+    EXPECT_EQ(base.rounds, shuffled.rounds);
+    EXPECT_EQ(base.total_messages, shuffled.total_messages);
+    EXPECT_EQ(base.total_words, shuffled.total_words);
+    EXPECT_EQ(base.deferred_messages, shuffled.deferred_messages);
+    EXPECT_EQ(base.deferred_words, shuffled.deferred_words);
+    EXPECT_EQ(base.link_backlog_peak_words, shuffled.link_backlog_peak_words);
+    EXPECT_EQ(base.rounds_with_backlog, shuffled.rounds_with_backlog);
+    EXPECT_EQ(base.active_per_round, shuffled.active_per_round);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       EXPECT_EQ(base.outputs[v], shuffled.outputs[perm[v]])
           << "output of id " << g.id(v);

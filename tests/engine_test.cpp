@@ -373,6 +373,209 @@ TEST(Engine, DropsToTerminatedAreChargedNotDelivered) {
   EXPECT_EQ(result.outputs[1], 2 + 1 + 1);
 }
 
+// ---------------------------------------------------------------------------
+// Link-layer enforcement (docs/MODEL.md, "CONGEST enforcement semantics").
+// ---------------------------------------------------------------------------
+
+/// Index 0 sends one 6-word message to its neighbor in round 1 and records
+/// the backlog it observes on that link each round; the neighbor records
+/// the round its message arrived in. Both run for exactly `run_rounds`.
+class OneBurstProgram final : public NodeProgram {
+ public:
+  explicit OneBurstProgram(int run_rounds) : run_rounds_(run_rounds) {}
+  void on_send(NodeContext& ctx) override {
+    if (ctx.index() == 0) {
+      if (ctx.round() == 1) {
+        ctx.send(1, {1, 2, 3, 4, 5, 6});
+      }
+      // Observed at send time: the carry-over left by the previous round.
+      backlog_trace_ = backlog_trace_ * 10 + ctx.link_backlog(1);
+    }
+  }
+  void on_receive(NodeContext& ctx) override {
+    for (const Message& m : ctx.inbox()) {
+      arrival_ = arrival_ * 100 + ctx.round() * 10 +
+                 static_cast<Value>(m.words.size());
+    }
+    if (ctx.round() == run_rounds_) {
+      ctx.set_output(ctx.index() == 0 ? backlog_trace_ : arrival_);
+      ctx.terminate();
+    }
+  }
+
+ private:
+  int run_rounds_;
+  Value backlog_trace_ = 0;  // one decimal digit per round
+  Value arrival_ = 0;        // (round, words) pairs, two digits each
+};
+
+TEST(Engine, DeferSpreadsDeliveryAcrossRounds) {
+  // 6 words over a 2-word/round link: the message needs ceil(6/2) = 3
+  // rounds and arrives in round 3, not round 1.
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<OneBurstProgram>(3); }, opt);
+  EXPECT_TRUE(result.completed);
+  // Receiver: exactly one arrival, in round 3, with all 6 words intact.
+  EXPECT_EQ(result.outputs[1], 36);
+  // Sender: backlog 0 before round 1's sends, then 4 and 2 carried words.
+  EXPECT_EQ(result.outputs[0], 42);
+  // Metrics: one message missed its send round carrying 4 words; rounds 2
+  // and 3 started with words in flight; the queue peaked at 4 words.
+  EXPECT_EQ(result.deferred_messages, 1);
+  EXPECT_EQ(result.deferred_words, 4);
+  EXPECT_EQ(result.link_backlog_peak_words, 4);
+  EXPECT_EQ(result.rounds_with_backlog, 2);
+  // The audit semantics are unchanged: one message wider than the limit.
+  EXPECT_EQ(result.congest_violations, 1);
+  EXPECT_EQ(result.total_words, 6);
+}
+
+TEST(Engine, DeferPreservesFifoAndSenderOrder) {
+  // Ids 1-2-3: both endpoints send two 2-word messages to the middle in
+  // round 1 under a 2-word budget. Each link clears one message per
+  // round; each round's inbox must list senders in ascending order and
+  // each link's messages in send order.
+  class TwoSendsProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1 && ctx.degree() == 1) {
+        ctx.send(ctx.neighbors()[0], {ctx.id(), 1});
+        ctx.send(ctx.neighbors()[0], {ctx.id(), 2});
+      }
+    }
+    void on_receive(NodeContext& ctx) override {
+      for (const Message& m : ctx.inbox()) {
+        trace_ = trace_ * 1000 + m.words.at(0) * 10 + m.words.at(1);
+      }
+      if (ctx.round() == 2) {
+        ctx.set_output(trace_);
+        ctx.terminate();
+      }
+    }
+
+   private:
+    Value trace_ = 0;
+  };
+  Graph g = make_line(3);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<TwoSendsProgram>(); }, opt);
+  EXPECT_TRUE(result.completed);
+  // Round 1: first message of id 1 then of id 3; round 2: their seconds.
+  EXPECT_EQ(result.outputs[1], 11'031'012'032LL);
+}
+
+TEST(Engine, TruncateDropsExcessWords) {
+  // Two messages on one link in one round under a 2-word budget: a 3-word
+  // message keeps its first 2 words; the following 2-word message finds
+  // the budget exhausted and arrives empty. Both are marked.
+  class TwoWidthsProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1 && ctx.index() == 0) {
+        ctx.send(1, {41, 42, 43});
+        ctx.send(1, {91, 92});
+      }
+    }
+    void on_receive(NodeContext& ctx) override {
+      Value seen = 0;
+      for (const Message& m : ctx.inbox()) {
+        seen = seen * 1000 + static_cast<Value>(m.words.size()) * 10 +
+               (m.truncated ? 1 : 0);
+        for (std::size_t i = 0; i < m.words.size(); ++i) {
+          EXPECT_LT(m.words.at(i), 50);  // nothing of {91, 92} got through
+        }
+      }
+      ctx.set_output(seen + 1);
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kTruncate;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<TwoWidthsProgram>(); }, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 1);  // truncation never delays delivery
+  // (len 2, truncated) then (len 0, truncated), +1.
+  EXPECT_EQ(result.outputs[1], 21'001 + 1);
+  EXPECT_EQ(result.truncated_messages, 2);
+  EXPECT_EQ(result.truncated_words, 1 + 2);
+  EXPECT_EQ(result.deferred_words, 0);
+}
+
+TEST(Engine, FailPolicyThrowsAtOffendingSend) {
+  class WideProgram final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1) ctx.broadcast({1, 2, 3});
+    }
+    void on_receive(NodeContext& ctx) override {
+      ctx.set_output(0);
+      ctx.terminate();
+    }
+  };
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kFail;
+  opt.congest_word_limit = 2;
+  EXPECT_THROW(
+      run_algorithm(
+          g, [](NodeId) { return std::make_unique<WideProgram>(); }, opt),
+      std::invalid_argument);
+  // Within budget, kFail is transparent.
+  opt.congest_word_limit = 3;
+  auto ok = run_algorithm(
+      g, [](NodeId) { return std::make_unique<WideProgram>(); }, opt);
+  EXPECT_TRUE(ok.completed);
+  EXPECT_EQ(ok.rounds, 1);
+}
+
+TEST(Engine, EnforcingPolicyRequiresPositiveBudget) {
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kDefer;  // congest_word_limit left 0
+  EXPECT_THROW(
+      run_algorithm(
+          g, [](NodeId) { return std::make_unique<OutputIdProgram>(); }, opt),
+      std::invalid_argument);
+}
+
+TEST(Engine, DeferDeliversToLateTerminatedReceiverNever) {
+  // Index 1 terminates in round 1; index 0's 4-word message (sent round 1,
+  // due round 2 under a 2-word budget) crossed the wire and is charged,
+  // but is never delivered — terminated nodes have no receive phase.
+  class SenderOrQuitter final : public NodeProgram {
+   public:
+    void on_send(NodeContext& ctx) override {
+      if (ctx.round() == 1 && ctx.index() == 0) ctx.send(1, {1, 2, 3, 4});
+    }
+    void on_receive(NodeContext& ctx) override {
+      EXPECT_TRUE(ctx.inbox().empty());
+      if (ctx.index() == 1 || ctx.round() == 3) {
+        ctx.set_output(7);
+        ctx.terminate();
+      }
+    }
+  };
+  Graph g = make_line(2);
+  EngineOptions opt;
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 2;
+  auto result = run_algorithm(
+      g, [](NodeId) { return std::make_unique<SenderOrQuitter>(); }, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.total_messages, 1 + 1);  // the burst + one notice
+  EXPECT_EQ(result.total_words, 4 + 1);
+}
+
 TEST(Phase, SequencePhaseRunsInOrder) {
   std::vector<std::unique_ptr<PhaseProgram>> phases;
   phases.push_back(std::make_unique<IdlePhase>(2));

@@ -196,6 +196,42 @@ TEST_P(OtherProblemsSweep, MatchingPartialsStayConsistent) {
   }
 }
 
+TEST(EnforcedCongest, ComposedTemplateConsistentAtEveryCutUnderTightBudget) {
+  // The composed Consecutive(Init, Greedy, Cleanup | congest-global) run,
+  // executed under an ENFORCED 2-word budget (the width its CONGEST
+  // compliance promises): every message fits its link's round budget, so
+  // nothing defers, the run matches the audited one exactly, and every
+  // mid-run cut is still a consistent partial MIS.
+  Rng rng(31);
+  Graph g = make_gnp(12, 0.3, rng);
+  randomize_ids(g, rng);
+  auto pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+
+  EngineOptions enforced;
+  enforced.congest_policy = CongestPolicy::kDefer;
+  enforced.congest_word_limit = 2;
+  auto full =
+      run_with_predictions(g, pred, mis_consecutive_congest(), enforced);
+  ASSERT_TRUE(full.completed);
+  ASSERT_TRUE(is_valid_mis(g, full.outputs)) << check_mis(g, full.outputs);
+  EXPECT_EQ(full.congest_violations, 0);
+  EXPECT_EQ(full.deferred_words, 0);  // width <= 2 never exceeds the budget
+
+  auto audited = run_with_predictions(g, pred, mis_consecutive_congest());
+  EXPECT_EQ(full.rounds, audited.rounds);
+  EXPECT_EQ(full.outputs, audited.outputs);
+  EXPECT_EQ(full.total_words, audited.total_words);
+
+  for (int cut = 1; cut < full.rounds; ++cut) {
+    EngineOptions opt = enforced;
+    opt.max_rounds = cut;
+    auto partial =
+        run_with_predictions(g, pred, mis_consecutive_congest(), opt);
+    EXPECT_TRUE(is_consistent_partial_mis(g, partial.outputs))
+        << "cut " << cut;
+  }
+}
+
 TEST(Determinism, IdenticalRunsIdenticalTranscripts) {
   Rng rng(9);
   Graph g = make_gnp(16, 0.25, rng);
