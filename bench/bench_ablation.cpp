@@ -16,6 +16,7 @@
 #include "mis/checkers.hpp"
 #include "predict/error_measures.hpp"
 #include "predict/generators.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
 #include "templates/problems_with_predictions.hpp"
@@ -39,23 +40,41 @@ void init_ablation_table() {
   Rng rng(5);
   auto base_b = simple_template(make_mis_base(), make_greedy_mis());
   auto init_b = simple_template(make_mis_init(), make_greedy_mis());
+  // Base/init pairs across the (graph, prediction) grid, as one batch.
+  BatchRunner runner({default_batch_workers()});
+  struct Row {
+    std::string graph_name;
+    std::string pred_name;
+    std::size_t graph_index;
+  };
+  std::vector<Row> rows;
+  std::vector<Graph> graphs;
+  graphs.reserve(3);
   for (auto [name, graph] : std::vector<std::pair<std::string, Graph>>{
            {"ring_60", make_ring(60)},
            {"grid_8x8", make_grid(8, 8)},
            {"gnp_60", make_gnp(60, 0.08, rng)}}) {
-    randomize_ids(graph, rng);
-    auto correct = mis_correct_prediction(graph, rng);
+    Graph& g = graphs.emplace_back(std::move(graph));
+    randomize_ids(g, rng);
+    auto correct = mis_correct_prediction(g, rng);
     for (auto [pred_name, pred] : std::vector<std::pair<std::string, Predictions>>{
              {"correct", correct},
              {"8_flips", flip_bits(correct, 8, rng)},
-             {"all_ones", all_same(graph, 1)}}) {
-      auto rb = run_with_predictions(graph, pred, base_b);
-      auto ri = run_with_predictions(graph, pred, init_b);
-      const bool ok =
-          is_valid_mis(graph, rb.outputs) && is_valid_mis(graph, ri.outputs);
-      table.print_row({name, pred_name, fmt(rb.rounds), fmt(ri.rounds),
-                       ok ? "yes" : "NO"});
+             {"all_ones", all_same(g, 1)}}) {
+      runner.add(g, base_b, pred);
+      runner.add(g, init_b, pred);
+      rows.push_back({name, pred_name, graphs.size() - 1});
     }
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Graph& g = graphs[rows[i].graph_index];
+    const RunResult& rb = results[2 * i];
+    const RunResult& ri = results[2 * i + 1];
+    const bool ok =
+        is_valid_mis(g, rb.outputs) && is_valid_mis(g, ri.outputs);
+    table.print_row({rows[i].graph_name, rows[i].pred_name, fmt(rb.rounds),
+                     fmt(ri.rounds), ok ? "yes" : "NO"});
   }
 }
 
@@ -72,14 +91,24 @@ void template_matrix_table() {
   Graph g = make_line(120);
   sorted_ids(g);
   auto correct = mis_correct_prediction(g, rng);
-  for (int flips : {0, 1, 4, 12, 32, 120}) {
+  const std::vector<int> flip_levels{0, 1, 4, 12, 32, 120};
+  // Four templates per error level — 24 independent engines, one batch.
+  BatchRunner runner({default_batch_workers()});
+  std::vector<Predictions> preds;
+  for (int flips : flip_levels) {
     auto pred = flips == 120 ? all_same(g, 1) : flip_bits(correct, flips, rng);
-    auto rs = run_with_predictions(g, pred, mis_simple_greedy());
-    auto rc = run_with_predictions(g, pred, mis_consecutive_linial());
-    auto ri = run_with_predictions(g, pred, mis_interleaved_gather());
-    auto rp = run_with_predictions(g, pred, mis_parallel_linial());
-    table.print_row({fmt(flips), fmt(eta1_mis(g, pred)), fmt(rs.rounds),
-                     fmt(rc.rounds), fmt(ri.rounds), fmt(rp.rounds)});
+    runner.add(g, mis_simple_greedy(), pred);
+    runner.add(g, mis_consecutive_linial(), pred);
+    runner.add(g, mis_interleaved_gather(), pred);
+    runner.add(g, mis_parallel_linial(), pred);
+    preds.push_back(std::move(pred));
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < flip_levels.size(); ++i) {
+    table.print_row({fmt(flip_levels[i]), fmt(eta1_mis(g, preds[i])),
+                     fmt(results[4 * i].rounds), fmt(results[4 * i + 1].rounds),
+                     fmt(results[4 * i + 2].rounds),
+                     fmt(results[4 * i + 3].rounds)});
   }
 }
 
@@ -90,34 +119,39 @@ void luby_template_table() {
          "cannot see the component count; the measured mean can.");
   Table table({"instance", "eta1", "mean_rounds", "max_rounds"}, 16);
   table.print_header();
-  const int kTrials = 12;
-  auto run_mean = [&](const Graph& g, const Predictions& pred, double* mx) {
-    double total = 0;
-    int worst = 0;
-    for (int t = 0; t < kTrials; ++t) {
-      auto r = run_with_predictions(g, pred,
-                                    mis_simple_luby(977 + 13 * t));
-      total += r.rounds;
-      worst = std::max(worst, r.rounds);
-    }
-    *mx = worst;
-    return total / kTrials;
+  const std::size_t kTrials = 12;
+  // All trials for all instances are one batch; each instance's slice of
+  // the ordered results feeds the span-based aggregates.
+  BatchRunner runner({default_batch_workers()});
+  struct Row {
+    std::string name;
+    std::size_t graph_index;
+    Predictions pred;
   };
-  {
-    Graph g = make_line(8);
+  std::vector<Row> rows;
+  std::vector<Graph> graphs;
+  graphs.reserve(3);
+  auto add_instance = [&](std::string name, Graph graph) {
+    Graph& g = graphs.emplace_back(std::move(graph));
     auto pred = all_same(g, 0);
-    double mx = 0;
-    const double mean = run_mean(g, pred, &mx);
-    table.print_row({"one_8line", fmt(eta1_mis(g, pred)), fmt(mean), fmt(mx)});
-  }
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      runner.add(g, mis_simple_luby(977 + 13 * static_cast<int>(t)), pred);
+    }
+    rows.push_back({std::move(name), graphs.size() - 1, std::move(pred)});
+  };
+  add_instance("one_8line", make_line(8));
   for (int m : {20, 200}) {
     Graph g = make_line(8);
     for (int i = 1; i < m; ++i) g = disjoint_union(g, make_line(8));
-    auto pred = all_same(g, 0);
-    double mx = 0;
-    const double mean = run_mean(g, pred, &mx);
-    table.print_row({fmt(m) + "x_8lines", fmt(eta1_mis(g, pred)), fmt(mean),
-                     fmt(mx)});
+    add_instance(fmt(m) + "x_8lines", std::move(g));
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto slice = std::span(results).subspan(i * kTrials, kTrials);
+    table.print_row({rows[i].name,
+                     fmt(eta1_mis(graphs[rows[i].graph_index], rows[i].pred)),
+                     fmt(mean_rounds(slice)),
+                     fmt(static_cast<double>(max_rounds(slice)))});
   }
 }
 
@@ -132,34 +166,41 @@ void verification_table() {
   Rng rng(21);
   Graph g = make_grid(8, 8);
   randomize_ids(g, rng);
+  // Prediction generation and the 1-round verifiers stay serial (they share
+  // the Rng stream); the four per-problem algorithm runs are one batch.
+  BatchRunner runner({default_batch_workers()});
+  std::vector<std::pair<std::string, int>> rows;  // problem, verify rounds
   {
     auto in = sequential_mis(g);
     std::vector<Value> claimed(in.size());
     for (std::size_t i = 0; i < in.size(); ++i) claimed[i] = in[i] ? 1 : 0;
     auto vr = verify_mis_locally(g, claimed);
-    auto algo = run_with_predictions(g, Predictions{claimed},
-                                     mis_parallel_linial());
-    table.print_row({"MIS", fmt(vr.rounds), fmt(algo.rounds)});
+    runner.add(g, mis_parallel_linial(), Predictions{claimed});
+    rows.emplace_back("MIS", vr.rounds);
   }
   {
     auto pred = matching_correct_prediction(g, rng);
     auto vr = verify_matching_locally(g, pred.node_values());
-    auto algo = run_with_predictions(g, pred, matching_parallel_linegraph());
-    table.print_row({"MaximalMatching", fmt(vr.rounds), fmt(algo.rounds)});
+    runner.add(g, matching_parallel_linegraph(), pred);
+    rows.emplace_back("MaximalMatching", vr.rounds);
   }
   {
     auto pred = coloring_correct_prediction(g, rng);
     auto vr = verify_coloring_locally(g, pred.node_values(),
                                       g.max_degree() + 1);
-    auto algo = run_with_predictions(g, pred, coloring_parallel_linial());
-    table.print_row({"(D+1)-VertexCol", fmt(vr.rounds), fmt(algo.rounds)});
+    runner.add(g, coloring_parallel_linial(), pred);
+    rows.emplace_back("(D+1)-VertexCol", vr.rounds);
   }
   {
     auto pred = edge_coloring_correct_prediction(g, rng);
     auto vr = verify_edge_coloring_locally(g, pred.edge_values());
-    auto algo =
-        run_with_predictions(g, pred, edge_coloring_consecutive_linegraph());
-    table.print_row({"(2D-1)-EdgeCol", fmt(vr.rounds), fmt(algo.rounds)});
+    runner.add(g, edge_coloring_consecutive_linegraph(), pred);
+    rows.emplace_back("(2D-1)-EdgeCol", vr.rounds);
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.print_row({rows[i].first, fmt(rows[i].second),
+                     fmt(results[i].rounds)});
   }
 }
 

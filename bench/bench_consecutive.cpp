@@ -13,6 +13,7 @@
 #include "mis/gather.hpp"
 #include "predict/error_measures.hpp"
 #include "predict/generators.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
 
@@ -32,8 +33,20 @@ void print_table() {
               12);
   table.print_header();
   Rng rng(21);
+  // The grid's runs are independent, so the whole sweep is submitted to
+  // one batch (two jobs per row) and printed from the ordered results.
+  BatchRunner runner({default_batch_workers()});
+  struct Row {
+    NodeId n;
+    int flips;
+    int cap;
+    Predictions pred;
+  };
+  std::vector<Row> rows;
+  std::vector<Graph> graphs;
+  graphs.reserve(2);
   for (NodeId n : {64, 128}) {
-    Graph g = make_line(n);
+    Graph& g = graphs.emplace_back(make_line(n));
     sorted_ids(g);  // worst case for the uniform algorithm
     auto base = mis_correct_prediction(g, rng);
     const int cap = kMisInitRounds +
@@ -42,14 +55,22 @@ void print_table() {
                     kMisCleanupRounds;
     for (int flips : {0, 2, 8, 32, n}) {
       auto pred = flips == n ? all_same(g, 1) : flip_bits(base, flips, rng);
-      auto rg = run_with_predictions(g, pred, mis_consecutive_gather());
-      auto rl = run_with_predictions(g, pred, mis_consecutive_linial());
-      const int e1 = eta1_mis(g, pred);
-      const bool ok = is_valid_mis(g, rg.outputs) && is_valid_mis(g, rl.outputs);
-      table.print_row({"sorted_line_" + fmt(n), fmt(flips), fmt(e1),
-                       fmt(rg.rounds), fmt(rl.rounds), fmt(2 * e1 + 5),
-                       fmt(cap), ok ? "yes" : "NO"});
+      runner.add(g, mis_consecutive_gather(), pred);
+      runner.add(g, mis_consecutive_linial(), pred);
+      rows.push_back({n, flips, cap, std::move(pred)});
     }
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const Graph& g = graphs[row.n == 64 ? 0 : 1];
+    const RunResult& rg = results[2 * i];
+    const RunResult& rl = results[2 * i + 1];
+    const int e1 = eta1_mis(g, row.pred);
+    const bool ok = is_valid_mis(g, rg.outputs) && is_valid_mis(g, rl.outputs);
+    table.print_row({"sorted_line_" + fmt(row.n), fmt(row.flips), fmt(e1),
+                     fmt(rg.rounds), fmt(rl.rounds), fmt(2 * e1 + 5),
+                     fmt(row.cap), ok ? "yes" : "NO"});
   }
 }
 

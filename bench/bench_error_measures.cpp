@@ -13,6 +13,7 @@
 #include "mis/checkers.hpp"
 #include "predict/error_measures.hpp"
 #include "predict/generators.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
 
@@ -49,15 +50,28 @@ void figure2_table() {
   Table table({"grid", "n", "eta1", "eta_bw", "rounds_bw", "rounds_plain"});
   table.print_header();
   Rng rng(3);
-  for (NodeId side : {8, 12, 16, 24}) {
-    Graph g = make_grid(side, side);
+  const std::vector<NodeId> sides{8, 12, 16, 24};
+  // Two jobs per grid size, batched; rows print from the ordered results.
+  BatchRunner runner({default_batch_workers()});
+  std::vector<Graph> graphs;
+  graphs.reserve(sides.size());
+  std::vector<Predictions> preds;
+  for (NodeId side : sides) {
+    Graph& g = graphs.emplace_back(make_grid(side, side));
     randomize_ids(g, rng);
     auto pred = grid_stripe_prediction(side, side);
-    auto bw = run_with_predictions(g, pred, mis_simple_bw());
-    auto plain = run_with_predictions(g, pred, mis_simple_greedy());
+    runner.add(g, mis_simple_bw(), pred);
+    runner.add(g, mis_simple_greedy(), pred);
+    preds.push_back(std::move(pred));
+  }
+  auto results = take_results(runner.run_all());
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    const NodeId side = sides[i];
+    const Graph& g = graphs[i];
+    const Predictions& pred = preds[i];
     table.print_row({fmt(side) + "x" + fmt(side), fmt(side * side),
                      fmt(eta1_mis(g, pred)), fmt(eta_bw_mis(g, pred)),
-                     fmt(bw.rounds), fmt(plain.rounds)});
+                     fmt(results[2 * i].rounds), fmt(results[2 * i + 1].rounds)});
   }
 }
 

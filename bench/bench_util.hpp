@@ -8,13 +8,50 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/engine.hpp"
+
 namespace dgap::benchutil {
+
+// ---------------------------------------------------------------------------
+// Aggregates over a sweep's results. Benches that batch their runs get the
+// whole result vector back at once; these reductions replace the ad-hoc
+// accumulator loops each bench used to carry.
+// ---------------------------------------------------------------------------
+
+inline double mean_rounds(std::span<const RunResult> results) {
+  if (results.empty()) return 0;
+  double total = 0;
+  for (const RunResult& r : results) total += r.rounds;
+  return total / static_cast<double>(results.size());
+}
+
+inline int max_rounds(std::span<const RunResult> results) {
+  int worst = 0;
+  for (const RunResult& r : results) worst = std::max(worst, r.rounds);
+  return worst;
+}
+
+inline double total_wall_ms(std::span<const RunResult> results) {
+  double total = 0;
+  for (const RunResult& r : results) total += r.wall_ms;
+  return total;
+}
+
+/// Worker count for converted sweeps: saturate a small machine without
+/// oversubscribing a single-core one.
+inline int default_batch_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, hw == 0 ? 1u : hw));
+}
 
 /// Fixed-width table printer: header once, then rows.
 class Table {

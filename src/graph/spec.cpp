@@ -1,0 +1,173 @@
+#include "graph/spec.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace dgap {
+
+Graph GraphSpec::build() const {
+  Rng rng(seed);
+  Graph g;
+  switch (family) {
+    case Family::kLine:
+      g = make_line(static_cast<NodeId>(a));
+      break;
+    case Family::kRing:
+      g = make_ring(static_cast<NodeId>(a));
+      break;
+    case Family::kClique:
+      g = make_clique(static_cast<NodeId>(a));
+      break;
+    case Family::kStar:
+      g = make_star(static_cast<NodeId>(a));
+      break;
+    case Family::kGrid:
+      g = make_grid(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      break;
+    case Family::kGnp:
+      g = make_gnp(static_cast<NodeId>(a), p, rng);
+      break;
+    case Family::kRandomTree:
+      g = make_random_tree(static_cast<NodeId>(a), rng);
+      break;
+    case Family::kCaterpillar:
+      g = make_caterpillar(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      break;
+  }
+  switch (ids) {
+    case IdPolicy::kDefault:
+      break;
+    case IdPolicy::kSorted:
+      sorted_ids(g);
+      break;
+    case IdPolicy::kRandomized:
+      // The same rng continues past generation, so a random family with
+      // randomized ids still derives everything from the one seed.
+      randomize_ids(g, rng);
+      break;
+  }
+  return g;
+}
+
+std::string GraphSpec::name() const {
+  std::string out;
+  switch (family) {
+    case Family::kLine: out = "line_" + std::to_string(a); break;
+    case Family::kRing: out = "ring_" + std::to_string(a); break;
+    case Family::kClique: out = "clique_" + std::to_string(a); break;
+    case Family::kStar: out = "star_" + std::to_string(a); break;
+    case Family::kGrid:
+      out = "grid_" + std::to_string(a) + "x" + std::to_string(b);
+      break;
+    case Family::kGnp: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "p%.3f", p);
+      out = "gnp_" + std::to_string(a) + "_" + buf;
+      break;
+    }
+    case Family::kRandomTree: out = "rtree_" + std::to_string(a); break;
+    case Family::kCaterpillar:
+      out = "caterpillar_" + std::to_string(a) + "x" + std::to_string(b);
+      break;
+  }
+  if (seed != 0) out += "_s" + std::to_string(seed);
+  if (ids == IdPolicy::kSorted) out += "_sorted";
+  if (ids == IdPolicy::kRandomized) out += "_rid";
+  return out;
+}
+
+namespace {
+GraphSpec spec_of(GraphSpec::Family f, std::int64_t a, std::int64_t b,
+                  double p, std::uint64_t seed, GraphSpec::IdPolicy ids) {
+  GraphSpec s;
+  s.family = f;
+  s.a = a;
+  s.b = b;
+  s.p = p;
+  s.seed = seed;
+  s.ids = ids;
+  return s;
+}
+}  // namespace
+
+GraphSpec GraphSpec::line(std::int64_t n, IdPolicy ids, std::uint64_t seed) {
+  return spec_of(Family::kLine, n, 0, 0, seed, ids);
+}
+GraphSpec GraphSpec::ring(std::int64_t n, IdPolicy ids, std::uint64_t seed) {
+  return spec_of(Family::kRing, n, 0, 0, seed, ids);
+}
+GraphSpec GraphSpec::clique(std::int64_t n, IdPolicy ids, std::uint64_t seed) {
+  return spec_of(Family::kClique, n, 0, 0, seed, ids);
+}
+GraphSpec GraphSpec::star(std::int64_t n, IdPolicy ids, std::uint64_t seed) {
+  return spec_of(Family::kStar, n, 0, 0, seed, ids);
+}
+GraphSpec GraphSpec::grid(std::int64_t w, std::int64_t h, IdPolicy ids,
+                          std::uint64_t seed) {
+  return spec_of(Family::kGrid, w, h, 0, seed, ids);
+}
+GraphSpec GraphSpec::gnp(std::int64_t n, double p, std::uint64_t seed,
+                         IdPolicy ids) {
+  return spec_of(Family::kGnp, n, 0, p, seed, ids);
+}
+GraphSpec GraphSpec::random_tree(std::int64_t n, std::uint64_t seed,
+                                 IdPolicy ids) {
+  return spec_of(Family::kRandomTree, n, 0, 0, seed, ids);
+}
+GraphSpec GraphSpec::caterpillar(std::int64_t spine, std::int64_t legs,
+                                 IdPolicy ids, std::uint64_t seed) {
+  return spec_of(Family::kCaterpillar, spine, legs, 0, seed, ids);
+}
+
+std::shared_ptr<const Graph> GraphCache::get(const GraphSpec& spec) {
+  DGAP_REQUIRE(spec.a > 0, "graph spec has no size");
+  const Key key{static_cast<int>(spec.family), spec.a, spec.b, spec.p,
+                spec.seed, static_cast<int>(spec.ids)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(key);
+    if (it != graphs_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock (construction can be expensive); a racing
+  // builder of the same spec loses and adopts the first-inserted graph,
+  // keeping the same-object guarantee.
+  auto built = std::make_shared<const Graph>(spec.build());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = graphs_.emplace(key, std::move(built));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+std::int64_t GraphCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t GraphCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void GraphCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  graphs_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dgap

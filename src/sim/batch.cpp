@@ -1,0 +1,177 @@
+#include "sim/batch.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "common/require.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dgap {
+
+BatchJob make_job(const Graph& g, ProgramFactory factory,
+                  Predictions predictions, EngineOptions options) {
+  BatchJob job;
+  job.graph = &g;
+  job.predictions = std::move(predictions);
+  job.factory = std::move(factory);
+  job.options = options;
+  return job;
+}
+
+BatchJob make_job(const GraphSpec& spec, ProgramFactory factory,
+                  Predictions predictions, EngineOptions options) {
+  BatchJob job;
+  job.spec = spec;
+  job.use_spec = true;
+  job.predictions = std::move(predictions);
+  job.factory = std::move(factory);
+  job.options = options;
+  return job;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {
+  DGAP_REQUIRE(options_.num_workers >= 1, "num_workers must be >= 1");
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  scratch_.resize(static_cast<std::size_t>(pool_->num_slots()));
+}
+
+BatchRunner::~BatchRunner() = default;
+
+int BatchRunner::num_workers() const { return pool_->num_slots(); }
+
+std::size_t BatchRunner::add(BatchJob job) {
+  DGAP_REQUIRE(job.factory != nullptr, "a batch job needs a program factory");
+  DGAP_REQUIRE(job.graph != nullptr || job.use_spec,
+               "a batch job needs a graph or a graph spec");
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t BatchRunner::add(const Graph& g, ProgramFactory factory,
+                             Predictions predictions, EngineOptions options) {
+  return add(make_job(g, std::move(factory), std::move(predictions), options));
+}
+
+std::size_t BatchRunner::add(const GraphSpec& spec, ProgramFactory factory,
+                             Predictions predictions, EngineOptions options) {
+  return add(
+      make_job(spec, std::move(factory), std::move(predictions), options));
+}
+
+std::vector<BatchResult> BatchRunner::run_all() {
+  // Resolve every spec through the cache up front, serially: cache fills in
+  // submission order, and workers then only read shared immutable graphs.
+  for (BatchJob& job : jobs_) {
+    if (job.use_spec && job.graph == nullptr) {
+      job.shared_graph = cache_.get(job.spec);
+      job.graph = job.shared_graph.get();
+    }
+  }
+
+  const std::size_t count = jobs_.size();
+  std::vector<BatchResult> results(count);
+  std::atomic<std::size_t> next{0};
+  // Work-stealing counter over the persistent pool. Which worker runs
+  // which job is timing-dependent; results are not: each job's engine is
+  // deterministic and single-threaded, and results are keyed by
+  // submission index. The pool's phase barrier makes the workers' writes
+  // visible before run_all returns.
+  pool_->run([&](int slot) {
+    EngineScratch& scratch = scratch_[static_cast<std::size_t>(slot)];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      BatchJob& job = jobs_[i];
+      BatchResult& out = results[i];
+      out.index = i;
+      EngineOptions options = job.options;
+      options.num_threads = 1;  // parallelism lives at the batch level
+      try {
+        Engine engine(*job.graph, job.predictions, std::move(job.factory),
+                      options, /*shared_pool=*/nullptr, &scratch);
+        out.result = engine.run();
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    }
+  });
+  jobs_.clear();
+  return results;
+}
+
+std::vector<BatchResult> run_batch(std::vector<BatchJob> jobs,
+                                   BatchOptions options) {
+  BatchRunner runner(options);
+  for (BatchJob& job : jobs) runner.add(std::move(job));
+  return runner.run_all();
+}
+
+std::vector<RunResult> take_results(std::vector<BatchResult>&& results) {
+  std::vector<RunResult> out;
+  out.reserve(results.size());
+  for (BatchResult& r : results) {
+    if (!r.ok) {
+      throw std::runtime_error("batch job " + std::to_string(r.index) +
+                               " failed: " + r.error);
+    }
+    out.push_back(std::move(r.result));
+  }
+  return out;
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+};
+
+}  // namespace
+
+std::uint64_t result_checksum(const RunResult& result) {
+  Fnv1a f;
+  f.mix(result.completed ? 1 : 0);
+  f.mix(result.rounds);
+  for (int t : result.termination_round) f.mix(t);
+  for (Value v : result.outputs) f.mix(v);
+  for (const auto& edges : result.edge_outputs) {
+    f.mix(static_cast<std::uint64_t>(edges.size()));
+    for (const auto& [key, v] : edges) {
+      f.mix(static_cast<std::uint64_t>(key));
+      f.mix(v);
+    }
+  }
+  f.mix(result.total_messages);
+  f.mix(result.total_words);
+  f.mix(result.max_message_words);
+  f.mix(result.congest_violations);
+  f.mix(result.deferred_messages);
+  f.mix(result.deferred_words);
+  f.mix(result.truncated_messages);
+  f.mix(result.truncated_words);
+  f.mix(result.link_backlog_peak_words);
+  f.mix(result.rounds_with_backlog);
+  for (int a : result.active_per_round) f.mix(a);
+  for (const auto& terms : result.terminations_per_round) {
+    f.mix(static_cast<std::uint64_t>(terms.size()));
+    for (NodeId v : terms) f.mix(static_cast<std::uint64_t>(v));
+  }
+  return f.h;
+}
+
+std::uint64_t results_checksum(std::span<const RunResult> results) {
+  Fnv1a f;
+  for (const RunResult& r : results) f.mix(result_checksum(r));
+  return f.h;
+}
+
+}  // namespace dgap

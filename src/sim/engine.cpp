@@ -64,7 +64,7 @@ bool NodeContext::neighbor_active(NodeId u) const {
 
 Value NodeContext::neighbor_output(NodeId u) const {
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
-  if (engine_->node_active_[u]) {
+  if (engine_->s_.node_active[u]) {
     return kUndefined;  // outputs become visible on termination
   }
   return engine_->nodes_[u].output;
@@ -72,16 +72,16 @@ Value NodeContext::neighbor_output(NodeId u) const {
 
 Value NodeContext::neighbor_output_for(NodeId u, NodeId key) const {
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
-  if (engine_->node_active_[u]) return kUndefined;
+  if (engine_->s_.node_active[u]) return kUndefined;
   return lookup_edge_output(engine_->nodes_[u].edge_outputs, key);
 }
 
 Value NodeContext::prediction() const {
-  return engine_->predictions_.node(index_);
+  return engine_->predictions_->node(index_);
 }
 
 Value NodeContext::edge_prediction(NodeId u) const {
-  return engine_->predictions_.edge(engine_->graph_, index_, u);
+  return engine_->predictions_->edge(engine_->graph_, index_, u);
 }
 
 void NodeContext::send(NodeId to, const Value* words, std::size_t count,
@@ -132,9 +132,9 @@ void NodeContext::broadcast(std::initializer_list<Value> words, int channel) {
 }
 
 std::span<const Message> NodeContext::inbox() const {
-  const auto& ref = engine_->inbox_ref_[index_];
+  const auto& ref = engine_->s_.inbox_ref[index_];
   if (ref.round_stamp != engine_->round_) return {};
-  return {engine_->inbox_flat_.data() + ref.begin, ref.count};
+  return {engine_->s_.inbox_flat.data() + ref.begin, ref.count};
 }
 
 void NodeContext::set_output(Value v) {
@@ -177,39 +177,67 @@ void NodeContext::terminate() {
   auto& st = engine_->nodes_[index_];
   DGAP_REQUIRE(st.output != kUndefined || !st.edge_outputs.empty(),
                "a node terminates only after assigning its outputs");
-  engine_->terminate_flag_[index_] = 1;
+  engine_->s_.terminate_flag[index_] = 1;
 }
 
 bool NodeContext::terminated() const {
-  return engine_->terminate_flag_[index_] != 0;
+  return engine_->s_.terminate_flag[index_] != 0;
 }
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
-               EngineOptions options)
-    : graph_(g), predictions_(std::move(predictions)), options_(options) {
+Engine::Engine(const Graph& g, const Predictions& predictions,
+               ProgramFactory factory, EngineOptions options,
+               ThreadPool* shared_pool, EngineScratch* scratch)
+    : graph_(g),
+      predictions_(&predictions),
+      options_(options),
+      owned_scratch_(scratch ? nullptr : std::make_unique<EngineScratch>()),
+      s_(scratch ? *scratch : *owned_scratch_) {
   DGAP_REQUIRE(factory != nullptr, "a program factory is required");
   DGAP_REQUIRE(options_.num_threads >= 1, "num_threads must be >= 1");
   const NodeId n = g.num_nodes();
   nodes_.resize(static_cast<std::size_t>(n));
-  active_nodes_.reserve(static_cast<std::size_t>(n));
+  s_.active_nodes.clear();
+  s_.active_nodes.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     nodes_[v].program = factory(v);
     DGAP_REQUIRE(nodes_[v].program != nullptr, "factory returned null");
     nodes_[v].active_neighbors = g.neighbors(v);
-    active_nodes_.push_back(v);
+    s_.active_nodes.push_back(v);
   }
   active_count_ = n;
-  node_active_.assign(static_cast<std::size_t>(n), 1);
-  terminate_flag_.assign(static_cast<std::size_t>(n), 0);
-  inbox_ref_.resize(static_cast<std::size_t>(n));
-  recv_count_.assign(static_cast<std::size_t>(n), 0);
-  shards_.resize(static_cast<std::size_t>(options_.num_threads));
+  s_.node_active.assign(static_cast<std::size_t>(n), 1);
+  s_.terminate_flag.assign(static_cast<std::size_t>(n), 0);
+  // assign, not resize: a reused scratch carries round stamps from its
+  // previous run, and a stale stamp equal to this run's current round
+  // would resurrect a dead inbox slice.
+  s_.inbox_ref.assign(static_cast<std::size_t>(n), detail::InboxRef{});
+  // A previous run that died mid-round (an exception out of a program
+  // hook) can leave nonzero counts / stale worklists behind, so restore
+  // every between-rounds invariant explicitly.
+  s_.recv_count.assign(static_cast<std::size_t>(n), 0);
+  s_.newly_terminated.clear();
+  s_.touched_receivers.clear();
+  s_.sorted_sends.clear();
+  s_.inbox_flat.clear();
+  s_.shards.resize(static_cast<std::size_t>(options_.num_threads));
+  for (auto& sh : s_.shards) {
+    sh.arena.clear();
+    sh.sends.clear();
+    sh.channels_monotone = true;
+  }
   if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    if (shared_pool != nullptr) {
+      DGAP_REQUIRE(shared_pool->num_slots() == options_.num_threads,
+                   "shared pool slot count must equal num_threads");
+      pool_ = shared_pool;
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+      pool_ = owned_pool_.get();
+    }
   }
   if (options_.congest_policy != CongestPolicy::kCount) {
     link_ = std::make_unique<detail::LinkLayer>(g, options_.congest_policy,
@@ -227,8 +255,8 @@ void Engine::charge(std::size_t payload_words, int channel) {
 
 template <typename Body>
 void Engine::run_sharded(const Body& body) {
-  const auto shards = shards_.size();
-  const std::size_t m = active_nodes_.size();
+  const auto shards = s_.shards.size();
+  const std::size_t m = s_.active_nodes.size();
   if (!pool_) {
     body(0, 0, m);
     return;
@@ -242,11 +270,11 @@ void Engine::run_sharded(const Body& body) {
 void Engine::send_phase() {
   in_send_phase_ = true;
   run_sharded([this](int s, std::size_t lo, std::size_t hi) {
-    auto& sh = shards_[static_cast<std::size_t>(s)];
+    auto& sh = s_.shards[static_cast<std::size_t>(s)];
     sh.arena.clear();
     sh.sends.clear();
     for (std::size_t i = lo; i < hi; ++i) {
-      const NodeId v = active_nodes_[i];
+      const NodeId v = s_.active_nodes[i];
       sh.last_channel = INT_MIN;
       NodeContext ctx(this, v, &sh);
       nodes_[v].program->on_send(ctx);
@@ -263,10 +291,10 @@ void Engine::send_phase() {
 template <typename Fn>
 void Engine::for_each_send(const Fn& fn) const {
   if (use_sorted_sends_) {
-    for (const auto& r : sorted_sends_) fn(r);
+    for (const auto& r : s_.sorted_sends) fn(r);
     return;
   }
-  for (const auto& sh : shards_) {
+  for (const auto& sh : s_.shards) {
     for (const auto& r : sh.sends) fn(r);
   }
 }
@@ -290,9 +318,9 @@ void Engine::deliver_round_messages() {
   detail::CongestAccount acct;  // same accounting as charge()
   const int congest_limit = options_.congest_word_limit;
   const bool enforce = link_ != nullptr;
-  touched_receivers_.clear();
+  s_.touched_receivers.clear();
   std::uint32_t delivered = 0;
-  for (auto& sh : shards_) {
+  for (auto& sh : s_.shards) {
     channels_monotone &= sh.channels_monotone;
     sh.channels_monotone = true;
     arena_words += sh.arena.size();
@@ -302,8 +330,8 @@ void Engine::deliver_round_messages() {
       acct.charge(r.len, r.channel, congest_limit);
       // Under an enforcing policy the link layer decides what arrives this
       // round; the receiver counting below only feeds the fast-path scatter.
-      if (!enforce && node_active_[r.to]) {
-        if (recv_count_[r.to]++ == 0) touched_receivers_.push_back(r.to);
+      if (!enforce && s_.node_active[r.to]) {
+        if (s_.recv_count[r.to]++ == 0) s_.touched_receivers.push_back(r.to);
         ++delivered;
       }
     }
@@ -318,12 +346,12 @@ void Engine::deliver_round_messages() {
   // stable sort of a merged copy when it happens.
   use_sorted_sends_ = !channels_monotone;
   if (use_sorted_sends_) {
-    sorted_sends_.clear();
-    for (const auto& sh : shards_) {
-      sorted_sends_.insert(sorted_sends_.end(), sh.sends.begin(),
+    s_.sorted_sends.clear();
+    for (const auto& sh : s_.shards) {
+      s_.sorted_sends.insert(s_.sorted_sends.end(), sh.sends.begin(),
                            sh.sends.end());
     }
-    std::stable_sort(sorted_sends_.begin(), sorted_sends_.end(),
+    std::stable_sort(s_.sorted_sends.begin(), s_.sorted_sends.end(),
                      [](const detail::SendRecord& a,
                         const detail::SendRecord& b) {
                        return std::tie(a.from, a.channel) <
@@ -343,16 +371,16 @@ void Engine::deliver_round_messages() {
   // receiver's slice. Terminated receivers are never counted, so their
   // messages are dropped right here.
   std::uint32_t cursor = 0;
-  for (const NodeId to : touched_receivers_) {
-    inbox_ref_[to] = {cursor, 0, round_};
-    cursor += recv_count_[to];
-    recv_count_[to] = 0;  // restore the all-zero invariant for next round
+  for (const NodeId to : s_.touched_receivers) {
+    s_.inbox_ref[to] = {cursor, 0, round_};
+    cursor += s_.recv_count[to];
+    s_.recv_count[to] = 0;  // restore the all-zero invariant for next round
   }
-  inbox_flat_.resize(delivered);
+  s_.inbox_flat.resize(delivered);
   for_each_send([&](const detail::SendRecord& r) {
-    if (!node_active_[r.to]) return;
-    auto& ref = inbox_ref_[r.to];
-    inbox_flat_[ref.begin + ref.count++] =
+    if (!s_.node_active[r.to]) return;
+    auto& ref = s_.inbox_ref[r.to];
+    s_.inbox_flat[ref.begin + ref.count++] =
         Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len)};
   });
 }
@@ -365,9 +393,9 @@ void Engine::deliver_enforced() {
   auto& link = *link_;
   link.begin_round(round_);
   for_each_send([&](const detail::SendRecord& r) {
-    link.ingest(r, node_active_.data());
+    link.ingest(r, s_.node_active.data());
   });
-  link.finish_round(node_active_.data());
+  link.finish_round(s_.node_active.data());
 
   // Counting-sort scatter of the cleared messages. The link layer emits
   // them with ascending senders and FIFO per link, so each receiver's slice
@@ -375,18 +403,18 @@ void Engine::deliver_enforced() {
   // carried-over traffic, ordered by the round the words finished crossing.
   const auto& deliveries = link.deliveries();
   for (const auto& d : deliveries) {
-    if (recv_count_[d.to]++ == 0) touched_receivers_.push_back(d.to);
+    if (s_.recv_count[d.to]++ == 0) s_.touched_receivers.push_back(d.to);
   }
   std::uint32_t cursor = 0;
-  for (const NodeId to : touched_receivers_) {
-    inbox_ref_[to] = {cursor, 0, round_};
-    cursor += recv_count_[to];
-    recv_count_[to] = 0;  // restore the all-zero invariant for next round
+  for (const NodeId to : s_.touched_receivers) {
+    s_.inbox_ref[to] = {cursor, 0, round_};
+    cursor += s_.recv_count[to];
+    s_.recv_count[to] = 0;  // restore the all-zero invariant for next round
   }
-  inbox_flat_.resize(deliveries.size());
+  s_.inbox_flat.resize(deliveries.size());
   for (const auto& d : deliveries) {
-    auto& ref = inbox_ref_[d.to];
-    inbox_flat_[ref.begin + ref.count++] =
+    auto& ref = s_.inbox_ref[d.to];
+    s_.inbox_flat[ref.begin + ref.count++] =
         Message{d.from, static_cast<int>(d.channel), WordSpan(d.words, d.len),
                 d.truncated};
   }
@@ -399,7 +427,7 @@ void Engine::receive_phase() {
   // change in process_terminations, after this phase joins).
   run_sharded([this](int, std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      const NodeId v = active_nodes_[i];
+      const NodeId v = s_.active_nodes[i];
       NodeContext ctx(this, v, nullptr);
       nodes_[v].program->on_receive(ctx);
     }
@@ -410,46 +438,46 @@ void Engine::process_terminations(std::vector<int>& termination_round) {
   if (options_.record_terminations) {
     metrics_.terminations_per_round.resize(static_cast<std::size_t>(round_));
   }
-  newly_terminated_.clear();
-  for (const NodeId v : active_nodes_) {
-    if (!terminate_flag_[v]) continue;
-    node_active_[v] = 0;
+  s_.newly_terminated.clear();
+  for (const NodeId v : s_.active_nodes) {
+    if (!s_.terminate_flag[v]) continue;
+    s_.node_active[v] = 0;
     --active_count_;
     termination_round[v] = round_;
-    newly_terminated_.push_back(v);  // ascending: the worklist is ascending
+    s_.newly_terminated.push_back(v);  // ascending: the worklist is ascending
     if (options_.record_terminations) {
       metrics_.terminations_per_round.back().push_back(v);
     }
   }
-  if (newly_terminated_.empty()) return;
+  if (s_.newly_terminated.empty()) return;
   // Second pass: charge the notification messages implied by the Section 7
   // convention (one message carrying the node's outputs to each neighbor
   // that is still active) and collect the affected neighbors, deduplicated
-  // via the recv_count_ scratch (all-zero between rounds, restored below).
-  // touched_receivers_ is likewise free until next round's delivery.
-  touched_receivers_.clear();
-  for (const NodeId v : newly_terminated_) {
+  // via the s_.recv_count scratch (all-zero between rounds, restored below).
+  // s_.touched_receivers is likewise free until next round's delivery.
+  s_.touched_receivers.clear();
+  for (const NodeId v : s_.newly_terminated) {
     const std::size_t notice_words = 1 + nodes_[v].edge_outputs.size();
     for (NodeId u : graph_.neighbors(v)) {
-      if (!node_active_[u]) continue;
+      if (!s_.node_active[u]) continue;
       charge(notice_words, /*channel=*/0);
-      if (recv_count_[u]++ == 0) touched_receivers_.push_back(u);
+      if (s_.recv_count[u]++ == 0) s_.touched_receivers.push_back(u);
     }
   }
   // Drop every terminated node from each affected view in one linear pass
   // (an invariant of the view is that it never contains inactive nodes, so
   // filtering on the active flag removes exactly this round's batch).
-  for (const NodeId u : touched_receivers_) {
-    recv_count_[u] = 0;
+  for (const NodeId u : s_.touched_receivers) {
+    s_.recv_count[u] = 0;
     auto& uan = nodes_[u].active_neighbors;
     uan.erase(std::remove_if(uan.begin(), uan.end(),
-                             [this](NodeId w) { return !node_active_[w]; }),
+                             [this](NodeId w) { return !s_.node_active[w]; }),
               uan.end());
   }
-  active_nodes_.erase(
-      std::remove_if(active_nodes_.begin(), active_nodes_.end(),
-                     [this](NodeId v) { return !node_active_[v]; }),
-      active_nodes_.end());
+  s_.active_nodes.erase(
+      std::remove_if(s_.active_nodes.begin(), s_.active_nodes.end(),
+                     [this](NodeId v) { return !s_.node_active[v]; }),
+      s_.active_nodes.end());
 }
 
 RunResult Engine::run() {
@@ -492,15 +520,22 @@ RunResult Engine::run() {
   return result;
 }
 
+const Predictions& empty_predictions() {
+  static const Predictions kEmpty;
+  return kEmpty;
+}
+
 RunResult run_algorithm(const Graph& g, ProgramFactory factory,
-                        EngineOptions options) {
-  Engine engine(g, Predictions{}, std::move(factory), options);
+                        EngineOptions options, ThreadPool* shared_pool) {
+  Engine engine(g, empty_predictions(), std::move(factory), options,
+                shared_pool);
   return engine.run();
 }
 
 RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
-                               ProgramFactory factory, EngineOptions options) {
-  Engine engine(g, predictions, std::move(factory), options);
+                               ProgramFactory factory, EngineOptions options,
+                               ThreadPool* shared_pool) {
+  Engine engine(g, predictions, std::move(factory), options, shared_pool);
   return engine.run();
 }
 

@@ -88,9 +88,40 @@ struct SendShard {
   int last_channel = 0;           // channel of the current node's last send
 };
 
+/// Inbox of one node = a slice of the flat round buffer, valid for one
+/// round. The stamp makes stale entries read as empty without any
+/// per-round clearing.
+struct InboxRef {
+  std::uint32_t begin = 0;
+  std::uint32_t count = 0;
+  int round_stamp = -1;
+};
+
 class LinkLayer;  // per-edge bandwidth scheduler (sim/link_layer.hpp)
 
 }  // namespace detail
+
+/// The engine's reusable data-plane buffers: hot flags, worklists, the
+/// per-thread send shards (with their payload arenas) and the flat inbox.
+/// An Engine normally owns one privately; sweeps that construct thousands
+/// of short-lived engines can instead hand the same scratch to consecutive
+/// engines — one live engine at a time, never two — so arena and worklist
+/// capacity is reused instead of reallocated per run. The engine fully
+/// re-initializes the logical contents at construction, so reuse cannot
+/// leak state across runs (tests/batch_test.cpp pins bit-identical
+/// results); the win is purely the retained heap capacity.
+struct EngineScratch {
+  std::vector<std::uint8_t> node_active;     // hot flag, 1 = active
+  std::vector<std::uint8_t> terminate_flag;  // hot flag, 1 = requested
+  std::vector<NodeId> active_nodes;       // live node indices, ascending
+  std::vector<NodeId> newly_terminated;   // scratch for termination pass
+  std::vector<detail::SendShard> shards;  // one per engine thread
+  std::vector<detail::SendRecord> sorted_sends;  // rare channel-repair path
+  std::vector<Message> inbox_flat;        // receiver-grouped round buffer
+  std::vector<detail::InboxRef> inbox_ref;  // per node, stamped by round
+  std::vector<std::uint32_t> recv_count;  // scratch; all-zero between rounds
+  std::vector<NodeId> touched_receivers;  // receivers seen this round
+};
 
 /// Per-node view handed to programs each round. All queries reflect the
 /// node's legitimate local knowledge: its identifier, its neighbors'
@@ -259,9 +290,16 @@ class ThreadPool;
 
 class Engine {
  public:
-  /// The predictions object may be empty for algorithms without predictions.
-  Engine(const Graph& g, Predictions predictions, ProgramFactory factory,
-         EngineOptions options = {});
+  /// The predictions object may be empty for algorithms without
+  /// predictions; it is borrowed and must stay alive until run() returns.
+  /// `shared_pool` (optional, used only when options.num_threads > 1, slot
+  /// count must equal num_threads) lets repeated threaded runs reuse one
+  /// set of parked workers instead of respawning threads per simulation.
+  /// `scratch` (optional) lets a sweep reuse the data-plane buffers across
+  /// consecutive engines — see EngineScratch.
+  Engine(const Graph& g, const Predictions& predictions,
+         ProgramFactory factory, EngineOptions options = {},
+         ThreadPool* shared_pool = nullptr, EngineScratch* scratch = nullptr);
   ~Engine();
 
   /// Run to global termination (or max_rounds).
@@ -278,14 +316,6 @@ class Engine {
     std::vector<NodeId> active_neighbors;
     Value output = kUndefined;
     std::vector<std::pair<NodeId, Value>> edge_outputs;  // sorted by key
-  };
-
-  /// Inbox of one node = a slice of inbox_flat_, valid for one round. The
-  /// stamp makes stale entries read as empty without any per-round clearing.
-  struct InboxRef {
-    std::uint32_t begin = 0;
-    std::uint32_t count = 0;
-    int round_stamp = -1;
   };
 
   /// Runs body(shard, lo, hi) for each contiguous slice [lo, hi) of
@@ -307,7 +337,7 @@ class Engine {
   void charge(std::size_t payload_words, int channel);
 
   const Graph& graph_;
-  Predictions predictions_;
+  const Predictions* predictions_;  // borrowed; outlives the engine
   EngineOptions options_;
   std::vector<NodeState> nodes_;
   int round_ = 0;
@@ -315,33 +345,34 @@ class Engine {
   NodeId active_count_ = 0;
   RunResult metrics_;  // message counters accumulated here during the run
 
-  // --- data plane (all buffers are reused across rounds) ---
-  std::vector<std::uint8_t> node_active_;       // hot flag, 1 = active
-  std::vector<std::uint8_t> terminate_flag_;    // hot flag, 1 = requested
-  std::vector<NodeId> active_nodes_;        // live node indices, ascending
-  std::vector<NodeId> newly_terminated_;    // scratch for termination pass
-  std::vector<detail::SendShard> shards_;   // one per engine thread
-  std::vector<detail::SendRecord> sorted_sends_;  // rare channel-repair path
+  // --- data plane (all buffers are reused across rounds; injected scratch
+  // additionally reuses their capacity across consecutive engines) ---
+  std::unique_ptr<EngineScratch> owned_scratch_;  // null when injected
+  EngineScratch& s_;
   bool use_sorted_sends_ = false;           // this round's sends were sorted
-  std::vector<Message> inbox_flat_;         // receiver-grouped round buffer
-  std::vector<InboxRef> inbox_ref_;         // per node, stamped by round
-  std::vector<std::uint32_t> recv_count_;   // scratch; all-zero between rounds
-  std::vector<NodeId> touched_receivers_;   // receivers seen this round
-  std::unique_ptr<ThreadPool> pool_;        // workers when num_threads > 1
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when shared
+  ThreadPool* pool_ = nullptr;              // workers when num_threads > 1
   // Bandwidth scheduler; only constructed for enforcing policies, so the
   // default (kCount) data plane is untouched by the link layer.
   std::unique_ptr<detail::LinkLayer> link_;
   std::size_t peak_arena_words_ = 0;
 };
 
-/// Convenience: run an algorithm without predictions.
+/// The shared immutable empty Predictions instance used by every run
+/// without predictions, so hot sweep loops never construct one per call.
+const Predictions& empty_predictions();
+
+/// Convenience: run an algorithm without predictions. The optional shared
+/// pool is forwarded to the engine (see Engine's constructor).
 RunResult run_algorithm(const Graph& g, ProgramFactory factory,
-                        EngineOptions options = {});
+                        EngineOptions options = {},
+                        ThreadPool* shared_pool = nullptr);
 
 /// Convenience: run an algorithm with predictions.
 RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
                                ProgramFactory factory,
-                               EngineOptions options = {});
+                               EngineOptions options = {},
+                               ThreadPool* shared_pool = nullptr);
 
 /// Messages in `inbox` with the given channel.
 std::vector<const Message*> inbox_on_channel(std::span<const Message> inbox,

@@ -1,0 +1,294 @@
+// Batch runner contract (docs/MODEL.md, "Batch execution model"):
+//  * results are bit-identical to the serial loop for any worker count and
+//    any submission order, keyed by submission index;
+//  * the graph cache returns the same immutable Graph object for equal
+//    specs;
+//  * a throwing job fails alone, with its index and error reported;
+//  * engine-level reuse (shared scratch, shared thread pool) never changes
+//    results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "mis/algorithms.hpp"
+#include "mis/checkers.hpp"
+#include "predict/generators.hpp"
+#include "random/luby.hpp"
+#include "sim/batch.hpp"
+#include "sim/thread_pool.hpp"
+#include "templates/mis_with_predictions.hpp"
+
+namespace dgap {
+namespace {
+
+/// A job expressed re-runnably: the factory is re-created per execution so
+/// the same job can be run serially and through batches repeatedly.
+struct SweepCase {
+  std::shared_ptr<const Graph> graph;
+  Predictions pred;
+  ProgramFactory (*make)();
+  EngineOptions options;
+};
+
+std::vector<SweepCase> sweep_cases(GraphCache& cache) {
+  std::vector<SweepCase> cases;
+  ProgramFactory (*algos[])() = {&mis_simple_greedy, &mis_consecutive_gather,
+                                 &mis_parallel_linial};
+  const GraphSpec specs[] = {
+      GraphSpec::line(24, GraphSpec::IdPolicy::kSorted),
+      GraphSpec::gnp(20, 0.2, /*seed=*/7, GraphSpec::IdPolicy::kRandomized),
+      GraphSpec::grid(5, 4),
+  };
+  int salt = 0;
+  for (const GraphSpec& spec : specs) {
+    auto g = cache.get(spec);
+    Rng rng(100 + salt);
+    auto base = mis_correct_prediction(*g, rng);
+    for (int flips : {0, 3, 9}) {
+      auto pred = flip_bits(base, flips, rng);
+      for (auto make : algos) {
+        EngineOptions opt;
+        opt.record_terminations = (salt % 2 == 0);
+        opt.record_active_per_round = (salt % 3 == 0);
+        cases.push_back({g, pred, make, opt});
+        ++salt;
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<RunResult> run_serially(const std::vector<SweepCase>& cases) {
+  std::vector<RunResult> out;
+  for (const SweepCase& c : cases) {
+    out.push_back(
+        run_with_predictions(*c.graph, c.pred, c.make(), c.options));
+  }
+  return out;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.outputs, b.outputs) << label;
+  EXPECT_EQ(a.edge_outputs, b.edge_outputs) << label;
+  EXPECT_EQ(a.termination_round, b.termination_round) << label;
+  EXPECT_EQ(a.total_messages, b.total_messages) << label;
+  EXPECT_EQ(a.total_words, b.total_words) << label;
+  EXPECT_EQ(a.max_message_words, b.max_message_words) << label;
+  EXPECT_EQ(a.congest_violations, b.congest_violations) << label;
+  EXPECT_EQ(a.active_per_round, b.active_per_round) << label;
+  EXPECT_EQ(a.terminations_per_round, b.terminations_per_round) << label;
+  EXPECT_EQ(result_checksum(a), result_checksum(b)) << label;
+}
+
+TEST(Batch, BitIdenticalAcrossWorkerCounts) {
+  GraphCache cache;
+  const auto cases = sweep_cases(cache);
+  const auto serial = run_serially(cases);
+  for (int workers : {1, 2, 4}) {
+    BatchRunner runner({workers});
+    for (const SweepCase& c : cases) {
+      runner.add(*c.graph, c.make(), c.pred, c.options);
+    }
+    auto batch = take_results(runner.run_all());
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], batch[i],
+                       "workers=" + std::to_string(workers) + " job " +
+                           std::to_string(i));
+    }
+    EXPECT_EQ(results_checksum(serial), results_checksum(batch));
+  }
+}
+
+TEST(Batch, SubmissionOrderKeysResultsUnderShuffle) {
+  GraphCache cache;
+  const auto cases = sweep_cases(cache);
+  const auto serial = run_serially(cases);
+  std::vector<std::size_t> perm(cases.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  Rng rng(42);
+  rng.shuffle(perm);
+
+  BatchRunner runner({3});
+  for (std::size_t p : perm) {
+    const SweepCase& c = cases[p];
+    runner.add(*c.graph, c.make(), c.pred, c.options);
+  }
+  auto shuffled = take_results(runner.run_all());
+  ASSERT_EQ(shuffled.size(), serial.size());
+  // Result slot i holds the i-th *submitted* job, i.e. original job
+  // perm[i] — independent of completion order.
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    expect_identical(serial[perm[i]], shuffled[i],
+                     "slot " + std::to_string(i));
+  }
+}
+
+TEST(Batch, SpecJobsMatchBorrowedGraphJobs) {
+  const auto spec =
+      GraphSpec::gnp(18, 0.25, /*seed=*/3, GraphSpec::IdPolicy::kRandomized);
+  const Graph g = spec.build();
+  Rng rng(5);
+  auto pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+
+  BatchRunner runner({2});
+  runner.add(spec, mis_simple_greedy(), pred);
+  runner.add(g, mis_simple_greedy(), pred);
+  auto results = take_results(runner.run_all());
+  expect_identical(results[0], results[1], "spec vs borrowed");
+  EXPECT_TRUE(is_valid_mis(g, results[0].outputs));
+}
+
+TEST(Batch, GraphCacheHitReturnsSameObject) {
+  GraphCache cache;
+  const auto spec = GraphSpec::gnp(30, 0.15, /*seed=*/11);
+  auto first = cache.get(spec);
+  auto second = cache.get(spec);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+
+  // A different seed is a different instance.
+  auto other = cache.get(GraphSpec::gnp(30, 0.15, /*seed=*/12));
+  EXPECT_NE(first.get(), other.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Batch, RunnerResolvesRepeatedSpecsThroughCache) {
+  BatchRunner runner({2});
+  const auto spec = GraphSpec::line(16, GraphSpec::IdPolicy::kSorted);
+  for (int i = 0; i < 6; ++i) runner.add(spec, greedy_mis_algorithm());
+  auto results = take_results(runner.run_all());
+  EXPECT_EQ(runner.graph_cache().misses(), 1);
+  EXPECT_EQ(runner.graph_cache().hits(), 5);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_identical(results[0], results[i], "job " + std::to_string(i));
+  }
+}
+
+/// Terminates without assigning an output — DGAP_REQUIRE throws inside the
+/// engine's receive phase.
+struct TerminateWithoutOutput : NodeProgram {
+  void on_send(NodeContext&) override {}
+  void on_receive(NodeContext& ctx) override { ctx.terminate(); }
+};
+
+TEST(Batch, ThrowingJobFailsAloneWithIndexReported) {
+  Graph g = make_ring(12);
+  sorted_ids(g);
+  BatchRunner runner({2});
+  runner.add(g, greedy_mis_algorithm());
+  runner.add(g, [](NodeId) -> std::unique_ptr<NodeProgram> {
+    return std::make_unique<TerminateWithoutOutput>();
+  });
+  runner.add(g, greedy_mis_algorithm());
+  auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_EQ(results[1].index, 1u);
+  EXPECT_NE(results[1].error.find("terminates only after"),
+            std::string::npos)
+      << results[1].error;
+  expect_identical(results[0].result, results[2].result, "surviving jobs");
+  EXPECT_TRUE(is_valid_mis(g, results[0].result.outputs));
+
+  // take_results surfaces the failure, naming the job.
+  auto again = runner.run_all();  // empty batch is fine
+  EXPECT_TRUE(again.empty());
+  runner.add(g, [](NodeId) -> std::unique_ptr<NodeProgram> {
+    return std::make_unique<TerminateWithoutOutput>();
+  });
+  EXPECT_THROW(take_results(runner.run_all()), std::runtime_error);
+}
+
+TEST(Batch, ScratchReuseAcrossEnginesIsBitIdentical) {
+  // Big run, then a small run, on the same scratch: capacity persists,
+  // results must not. The failed-run case exercises the mid-round-abort
+  // invariant restore (nonzero recv counts, stale inbox stamps).
+  Rng rng(17);
+  Graph big = make_gnp(64, 0.15, rng);
+  randomize_ids(big, rng);
+  Graph small = make_line(10);
+  sorted_ids(small);
+
+  auto fresh_big = run_algorithm(big, luby_mis_algorithm(5));
+  auto fresh_small = run_algorithm(small, greedy_mis_algorithm());
+
+  EngineScratch scratch;
+  {
+    Engine e(big, empty_predictions(), luby_mis_algorithm(5), {}, nullptr,
+             &scratch);
+    expect_identical(fresh_big, e.run(), "big on shared scratch");
+  }
+  {
+    Engine e(small, empty_predictions(), greedy_mis_algorithm(), {}, nullptr,
+             &scratch);
+    expect_identical(fresh_small, e.run(), "small after big");
+  }
+  {
+    Engine e(small, empty_predictions(),
+             [](NodeId) -> std::unique_ptr<NodeProgram> {
+               return std::make_unique<TerminateWithoutOutput>();
+             },
+             {}, nullptr, &scratch);
+    EXPECT_THROW(e.run(), std::invalid_argument);
+  }
+  {
+    Engine e(small, empty_predictions(), greedy_mis_algorithm(), {}, nullptr,
+             &scratch);
+    expect_identical(fresh_small, e.run(), "small after aborted run");
+  }
+}
+
+TEST(Batch, SharedThreadPoolMatchesOwnedPoolAndSerial) {
+  Rng rng(23);
+  Graph g = make_gnp(48, 0.2, rng);
+  randomize_ids(g, rng);
+  auto serial = run_algorithm(g, luby_mis_algorithm(9));
+
+  EngineOptions threaded;
+  threaded.num_threads = 2;
+  auto owned = run_algorithm(g, luby_mis_algorithm(9), threaded);
+  expect_identical(serial, owned, "owned pool");
+
+  ThreadPool pool(2);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto shared = run_algorithm(g, luby_mis_algorithm(9), threaded, &pool);
+    expect_identical(serial, shared, "shared pool rep " + std::to_string(rep));
+  }
+  // Slot-count mismatch is a contract violation, not a silent fallback.
+  EXPECT_THROW(
+      {
+        EngineOptions four;
+        four.num_threads = 4;
+        run_algorithm(g, luby_mis_algorithm(9), four, &pool);
+      },
+      std::invalid_argument);
+}
+
+TEST(Batch, JobNumThreadsIsForcedSingleThreaded) {
+  // num_threads moves to the batch level: a job asking for 4 engine
+  // threads still runs (single-threaded) and still matches the serial
+  // single-threaded result bit for bit.
+  Graph g = make_ring(30);
+  sorted_ids(g);
+  auto serial = run_algorithm(g, greedy_mis_algorithm());
+  BatchRunner runner({2});
+  EngineOptions opt;
+  opt.num_threads = 4;
+  runner.add(g, greedy_mis_algorithm(), Predictions{}, opt);
+  auto results = take_results(runner.run_all());
+  expect_identical(serial, results[0], "forced single-threaded");
+}
+
+}  // namespace
+}  // namespace dgap

@@ -16,6 +16,7 @@
 #include "matching/checkers.hpp"
 #include "mis/checkers.hpp"
 #include "predict/generators.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
 #include "templates/problems_with_predictions.hpp"
@@ -27,6 +28,23 @@ struct GraphCase {
   const char* name;
   Graph (*make)(Rng&);
 };
+
+/// Cut sweeps rerun the same job at max_rounds = 1..full.rounds-1; the
+/// runs are independent, so they go through the batch runner (two workers
+/// — the sweeps double as a batch-vs-serial equivalence check, since the
+/// properties asserted were established against serial runs).
+std::vector<RunResult> sweep_cuts(const Graph& g, const Predictions& pred,
+                                  ProgramFactory (*make_factory)(),
+                                  int first_cut, int step, int full_rounds,
+                                  EngineOptions base_options = {}) {
+  std::vector<BatchJob> jobs;
+  for (int cut = first_cut; cut < full_rounds; cut += step) {
+    EngineOptions opt = base_options;
+    opt.max_rounds = cut;
+    jobs.push_back(make_job(g, make_factory(), pred, opt));
+  }
+  return take_results(run_batch(std::move(jobs), {2}));
+}
 
 const GraphCase kGraphs[] = {
     {"line", [](Rng& r) { Graph g = make_line(11); randomize_ids(g, r); return g; }},
@@ -65,12 +83,10 @@ TEST_P(MisSweep, AllMisAlgorithmsExtendableAtEveryEvenCut) {
     // hold at EVERY cut; full extendability transiently fails between a
     // winner's round and its neighbors' response round, so it is only
     // asserted at the boundaries the composition machinery uses (below).
-    for (int cut = 1; cut < full.rounds; ++cut) {
-      EngineOptions opt;
-      opt.max_rounds = cut;
-      auto partial = run_with_predictions(g, pred, make_factory(), opt);
-      EXPECT_TRUE(is_consistent_partial_mis(g, partial.outputs))
-          << kGraphs[graph_index].name << " cut " << cut;
+    auto partials = sweep_cuts(g, pred, make_factory, 1, 1, full.rounds);
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      EXPECT_TRUE(is_consistent_partial_mis(g, partials[i].outputs))
+          << kGraphs[graph_index].name << " cut " << 1 + static_cast<int>(i);
     }
   }
   // Simple(Init, Greedy): after the 3-round initialization, every even
@@ -79,12 +95,11 @@ TEST_P(MisSweep, AllMisAlgorithmsExtendableAtEveryEvenCut) {
   // schedules rely on.
   {
     auto full = run_with_predictions(g, pred, mis_simple_greedy());
-    for (int cut = 3; cut < full.rounds; cut += 2) {
-      EngineOptions opt;
-      opt.max_rounds = cut;
-      auto partial = run_with_predictions(g, pred, mis_simple_greedy(), opt);
-      EXPECT_TRUE(is_extendable_partial_mis(g, partial.outputs))
-          << kGraphs[graph_index].name << " boundary cut " << cut;
+    auto partials = sweep_cuts(g, pred, &mis_simple_greedy, 3, 2, full.rounds);
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      EXPECT_TRUE(is_extendable_partial_mis(g, partials[i].outputs))
+          << kGraphs[graph_index].name << " boundary cut "
+          << 3 + 2 * static_cast<int>(i);
     }
   }
 }
@@ -153,14 +168,12 @@ TEST_P(OtherProblemsSweep, ColoringProperAtEveryCut) {
   auto pred = scramble_colors(g, coloring_correct_prediction(g, rng), 5, rng);
   auto full = run_with_predictions(g, pred, coloring_parallel_linial());
   ASSERT_TRUE(full.completed);
-  for (int cut = 1; cut < full.rounds; ++cut) {
-    EngineOptions opt;
-    opt.max_rounds = cut;
-    auto partial =
-        run_with_predictions(g, pred, coloring_parallel_linial(), opt);
-    EXPECT_TRUE(is_proper_partial_coloring(g, partial.outputs,
+  auto partials =
+      sweep_cuts(g, pred, &coloring_parallel_linial, 1, 1, full.rounds);
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    EXPECT_TRUE(is_proper_partial_coloring(g, partials[i].outputs,
                                            g.max_degree() + 1))
-        << kGraphs[graph_index].name << " cut " << cut;
+        << kGraphs[graph_index].name << " cut " << 1 + static_cast<int>(i);
   }
 }
 
@@ -175,11 +188,10 @@ TEST_P(OtherProblemsSweep, MatchingPartialsStayConsistent) {
       break_matches(g, matching_correct_prediction(g, rng), 4, rng);
   auto full = run_with_predictions(g, pred, matching_parallel_linegraph());
   ASSERT_TRUE(full.completed);
-  for (int cut = 1; cut < full.rounds; ++cut) {
-    EngineOptions opt;
-    opt.max_rounds = cut;
-    auto partial =
-        run_with_predictions(g, pred, matching_parallel_linegraph(), opt);
+  auto partials =
+      sweep_cuts(g, pred, &matching_parallel_linegraph, 1, 1, full.rounds);
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const RunResult& partial = partials[i];
     // Committed partner claims must be mutual.
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       const Value out = partial.outputs[v];
@@ -190,8 +202,8 @@ TEST_P(OtherProblemsSweep, MatchingPartialsStayConsistent) {
       for (NodeId u : g.neighbors(v)) {
         if (g.id(u) == out) mutual = (partial.outputs[u] == g.id(v));
       }
-      EXPECT_TRUE(mutual) << kGraphs[graph_index].name << " cut " << cut
-                          << " node " << v;
+      EXPECT_TRUE(mutual) << kGraphs[graph_index].name << " cut "
+                          << 1 + static_cast<int>(i) << " node " << v;
     }
   }
 }
@@ -222,13 +234,11 @@ TEST(EnforcedCongest, ComposedTemplateConsistentAtEveryCutUnderTightBudget) {
   EXPECT_EQ(full.outputs, audited.outputs);
   EXPECT_EQ(full.total_words, audited.total_words);
 
-  for (int cut = 1; cut < full.rounds; ++cut) {
-    EngineOptions opt = enforced;
-    opt.max_rounds = cut;
-    auto partial =
-        run_with_predictions(g, pred, mis_consecutive_congest(), opt);
-    EXPECT_TRUE(is_consistent_partial_mis(g, partial.outputs))
-        << "cut " << cut;
+  auto partials = sweep_cuts(g, pred, &mis_consecutive_congest, 1, 1,
+                             full.rounds, enforced);
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    EXPECT_TRUE(is_consistent_partial_mis(g, partials[i].outputs))
+        << "cut " << 1 + static_cast<int>(i);
   }
 }
 
