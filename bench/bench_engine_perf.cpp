@@ -16,6 +16,7 @@
 #include "mis/algorithms.hpp"
 #include "random/luby.hpp"
 #include "sim/engine.hpp"
+#include "sim/transcript.hpp"
 
 namespace {
 
@@ -27,17 +28,27 @@ struct CaseResult {
   int rounds = 0;
   std::int64_t messages = 0;
   std::int64_t peak_arena_bytes = 0;
+  std::int64_t transcript_bytes = 0;
   bool completed = false;
 };
 
 /// Runs the workload `reps` times and keeps the best (min) wall time —
-/// the usual noise-robust choice for throughput tracking.
+/// the usual noise-robust choice for throughput tracking. `trace`
+/// installs a TranscriptWriter at that detail level (the recorded-run
+/// overhead rows); nullopt benches the sink-free fast path, which makes
+/// no virtual calls at all.
 CaseResult run_case(const Graph& g, const std::function<ProgramFactory()>& make,
-                    int reps, int num_threads) {
+                    int reps, int num_threads,
+                    std::optional<TraceDetail> trace = std::nullopt) {
   CaseResult best;
   for (int r = 0; r < reps; ++r) {
     EngineOptions opt;
     opt.num_threads = num_threads;
+    std::optional<TranscriptWriter> writer;
+    if (trace) {
+      writer.emplace(*trace);
+      opt.trace_sink = &*writer;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     auto result = run_algorithm(g, make(), opt);
     const auto t1 = std::chrono::steady_clock::now();
@@ -48,6 +59,8 @@ CaseResult run_case(const Graph& g, const std::function<ProgramFactory()>& make,
       best.rounds = result.rounds;
       best.messages = result.total_messages;
       best.peak_arena_bytes = result.peak_arena_bytes;
+      best.transcript_bytes =
+          writer ? static_cast<std::int64_t>(writer->bytes().size()) : 0;
       best.completed = result.completed;
     }
   }
@@ -61,6 +74,8 @@ struct Case {
   Graph graph;
   std::function<ProgramFactory()> make;
   int num_threads = 1;
+  /// Recorded-run overhead rows: record a transcript at this detail.
+  std::optional<TraceDetail> trace;
 };
 
 std::vector<Case> build_cases() {
@@ -73,35 +88,35 @@ std::vector<Case> build_cases() {
     Rng rng(1000 + n);
     Graph g = make_gnp(n, 8.0 / n, rng);
     randomize_ids(g, rng);
-    cases.push_back({"gnp", "luby", n, std::move(g), luby});
+    cases.push_back({"gnp", "luby", n, std::move(g), luby, 1, std::nullopt});
   }
   // Luby on grid.
   for (NodeId side : {32, 64, 128}) {
     Rng rng(2000 + side);
     Graph g = make_grid(side, side);
     randomize_ids(g, rng);
-    cases.push_back({"grid", "luby", side * side, std::move(g), luby});
+    cases.push_back({"grid", "luby", side * side, std::move(g), luby, 1, std::nullopt});
   }
   // Luby on ring.
   for (NodeId n : {4096, 16384, 65536}) {
     Rng rng(3000 + n);
     Graph g = make_ring(n);
     randomize_ids(g, rng);
-    cases.push_back({"ring", "luby", n, std::move(g), luby});
+    cases.push_back({"ring", "luby", n, std::move(g), luby, 1, std::nullopt});
   }
   // Greedy MIS on ascending-id ring: the sequential frontier worst case —
   // Theta(n) rounds, O(1) live work per round once most nodes terminated.
   for (NodeId n : {1024, 4096}) {
     Graph g = make_ring(n);
     sorted_ids(g);
-    cases.push_back({"ring", "greedy", n, std::move(g), greedy});
+    cases.push_back({"ring", "greedy", n, std::move(g), greedy, 1, std::nullopt});
   }
   // Greedy MIS on GNP with random identifiers: O(log n)-ish rounds.
   for (NodeId n : {2048, 8192}) {
     Rng rng(4000 + n);
     Graph g = make_gnp(n, 8.0 / n, rng);
     randomize_ids(g, rng);
-    cases.push_back({"gnp", "greedy", n, std::move(g), greedy});
+    cases.push_back({"gnp", "greedy", n, std::move(g), greedy, 1, std::nullopt});
   }
   // Parallel delivery: rerun the largest Luby/GNP instance sharded over a
   // small thread pool (results are bit-identical to serial by contract).
@@ -109,9 +124,28 @@ std::vector<Case> build_cases() {
     Rng rng(1000 + 32768);
     Graph g = make_gnp(32768, 8.0 / 32768, rng);
     randomize_ids(g, rng);
-    cases.push_back({"gnp", "luby", 32768, std::move(g), luby, t});
+    cases.push_back({"gnp", "luby", 32768, std::move(g), luby, t, std::nullopt});
+  }
+  // Recorded-run overhead: the same largest Luby/GNP instance with a
+  // TranscriptWriter installed, at round granularity and at full payload
+  // capture. Compare against the trace=none row above to price the spine.
+  for (TraceDetail detail : {TraceDetail::kRounds, TraceDetail::kPayloads}) {
+    Rng rng(1000 + 32768);
+    Graph g = make_gnp(32768, 8.0 / 32768, rng);
+    randomize_ids(g, rng);
+    cases.push_back({"gnp", "luby", 32768, std::move(g), luby, 1, detail});
   }
   return cases;
+}
+
+std::string trace_name(const std::optional<TraceDetail>& trace) {
+  if (!trace) return "none";
+  switch (*trace) {
+    case TraceDetail::kRounds: return "rounds";
+    case TraceDetail::kMessages: return "messages";
+    case TraceDetail::kPayloads: return "payloads";
+  }
+  return "?";
 }
 
 void run_all(bool json) {
@@ -119,31 +153,36 @@ void run_all(bool json) {
          "Simulator data-plane throughput: wall ms / rounds per sec / "
          "messages per sec per (family, workload, n, threads). Tracked "
          "across PRs via --json (BENCH_engine.json).");
-  Table table({"family", "workload", "n", "threads", "wall_ms", "rounds",
-               "k_msgs", "rounds_per_s", "mmsgs_per_s", "peak_arena_kb"});
+  Table table({"family", "workload", "n", "threads", "trace", "wall_ms",
+               "rounds", "k_msgs", "rounds_per_s", "mmsgs_per_s",
+               "peak_arena_kb", "transcript_kb"});
   table.print_header();
   JsonRecorder out(json, "BENCH_engine.json");
   for (auto& c : build_cases()) {
     const int reps = c.n <= 8192 ? 3 : 2;
-    const CaseResult r = run_case(c.graph, c.make, reps, c.num_threads);
+    const CaseResult r =
+        run_case(c.graph, c.make, reps, c.num_threads, c.trace);
     const double secs = r.wall_ms / 1000.0;
     const double rps = secs > 0 ? r.rounds / secs : 0;
     const double mps = secs > 0 ? static_cast<double>(r.messages) / secs : 0;
     table.print_row({c.family, c.workload, fmt(c.n), fmt(c.num_threads),
-                     fmt(r.wall_ms), fmt(r.rounds), fmt(r.messages / 1000),
-                     fmt(rps), fmt(mps / 1e6),
-                     fmt(r.peak_arena_bytes / 1024)});
+                     trace_name(c.trace), fmt(r.wall_ms), fmt(r.rounds),
+                     fmt(r.messages / 1000), fmt(rps), fmt(mps / 1e6),
+                     fmt(r.peak_arena_bytes / 1024),
+                     fmt(r.transcript_bytes / 1024)});
     out.begin_record();
     out.field("family", c.family);
     out.field("workload", c.workload);
     out.field("n", static_cast<std::int64_t>(c.n));
     out.field("threads", c.num_threads);
+    out.field("trace", trace_name(c.trace));
     out.field("wall_ms", r.wall_ms);
     out.field("rounds", r.rounds);
     out.field("messages", r.messages);
     out.field("rounds_per_sec", rps);
     out.field("messages_per_sec", mps);
     out.field("peak_arena_bytes", r.peak_arena_bytes);
+    out.field("transcript_bytes", r.transcript_bytes);
     out.field("completed", static_cast<std::int64_t>(r.completed ? 1 : 0));
   }
   out.finish();

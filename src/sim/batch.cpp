@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/transcript.hpp"
 
 namespace dgap {
 
@@ -44,6 +45,9 @@ std::size_t BatchRunner::add(BatchJob job) {
   DGAP_REQUIRE(job.factory != nullptr, "a batch job needs a program factory");
   DGAP_REQUIRE(job.graph != nullptr || job.use_spec,
                "a batch job needs a graph or a graph spec");
+  DGAP_REQUIRE(!job.capture_transcript || job.options.trace_sink == nullptr,
+               "capture_transcript installs its own trace sink; the job's "
+               "options must not carry one");
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
 }
@@ -87,11 +91,20 @@ std::vector<BatchResult> BatchRunner::run_all() {
       out.index = i;
       EngineOptions options = job.options;
       options.num_threads = 1;  // parallelism lives at the batch level
+      std::unique_ptr<TranscriptWriter> writer;
+      if (job.capture_transcript) {
+        writer = std::make_unique<TranscriptWriter>(
+            job.transcript_detail, job.transcript_label,
+            job.use_spec ? std::optional<GraphSpec>(job.spec)
+                         : std::nullopt);
+        options.trace_sink = writer.get();
+      }
       try {
         Engine engine(*job.graph, job.predictions, std::move(job.factory),
                       options, /*shared_pool=*/nullptr, &scratch);
         out.result = engine.run();
         out.ok = true;
+        if (writer) out.transcript = writer->take_bytes();
       } catch (const std::exception& e) {
         out.error = e.what();
       }

@@ -49,6 +49,13 @@ struct BatchJob {
   Predictions predictions;  // empty = no predictions
   ProgramFactory factory;
   EngineOptions options;
+  /// Record this job's run as a binary transcript (sim/transcript.hpp);
+  /// the bytes come back in BatchResult::transcript. Spec jobs embed their
+  /// GraphSpec in the header, so the file is self-describing. Mutually
+  /// exclusive with options.trace_sink (DGAP_REQUIRE at add()).
+  bool capture_transcript = false;
+  TraceDetail transcript_detail = TraceDetail::kPayloads;
+  std::string transcript_label;
 };
 
 /// Job against an existing graph (borrowed; caller keeps it alive).
@@ -63,6 +70,10 @@ struct BatchResult {
   bool ok = false;
   RunResult result;       // meaningful iff ok
   std::string error;      // exception text iff !ok
+  /// Serialized transcript iff the job set capture_transcript and ran ok.
+  /// Byte-identical across worker counts and submission schedules — the
+  /// strongest determinism witness the runner offers (batch_test pins it).
+  std::vector<std::uint8_t> transcript;
 };
 
 struct BatchOptions {

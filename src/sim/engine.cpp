@@ -243,6 +243,22 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
     link_ = std::make_unique<detail::LinkLayer>(g, options_.congest_policy,
                                                 options_.congest_word_limit);
   }
+  // Trace spine: the classic record_* options are a private rounds-level
+  // sink; a user sink rides alongside. No sinks => no virtual calls.
+  if (options_.record_active_per_round || options_.record_terminations) {
+    record_sink_ = std::make_unique<detail::RunRecordSink>(
+        options_.record_active_per_round, options_.record_terminations);
+    sinks_.push_back(record_sink_.get());
+  }
+  if (options_.trace_sink != nullptr) {
+    sinks_.push_back(options_.trace_sink);
+    // detail() is a stable property of the sink; cache the answer so the
+    // delivery path never queries it per message.
+    if (options_.trace_sink->detail() >= TraceDetail::kMessages) {
+      message_sinks_.push_back(options_.trace_sink);
+    }
+    trace_messages_ = !message_sinks_.empty();
+  }
 }
 
 Engine::~Engine() = default;
@@ -420,6 +436,23 @@ void Engine::deliver_enforced() {
   }
 }
 
+void Engine::trace_deliveries() {
+  // Walk the freshly scattered inbox slices — receivers in first-touch
+  // order, each slice already in canonical (sender, channel, send order) —
+  // so the emitted stream is exactly the round's inbox contents and is
+  // bit-identical across num_threads (the scatter itself is). Runs between
+  // delivery and the receive phase, on the main thread.
+  for (const NodeId to : s_.touched_receivers) {
+    const auto& ref = s_.inbox_ref[to];
+    for (std::uint32_t i = 0; i < ref.count; ++i) {
+      const Message& m = s_.inbox_flat[ref.begin + i];
+      const TraceMessage tm{round_, m.from, to, m.channel, m.words,
+                            m.truncated};
+      for (TraceSink* sink : message_sinks_) sink->on_message(tm);
+    }
+  }
+}
+
 void Engine::receive_phase() {
   // Safe to shard: a program's receive hook writes only its own node's
   // state (output, edge_outputs, terminate_requested) and reads neighbor
@@ -435,9 +468,6 @@ void Engine::receive_phase() {
 }
 
 void Engine::process_terminations(std::vector<int>& termination_round) {
-  if (options_.record_terminations) {
-    metrics_.terminations_per_round.resize(static_cast<std::size_t>(round_));
-  }
   s_.newly_terminated.clear();
   for (const NodeId v : s_.active_nodes) {
     if (!s_.terminate_flag[v]) continue;
@@ -445,8 +475,11 @@ void Engine::process_terminations(std::vector<int>& termination_round) {
     --active_count_;
     termination_round[v] = round_;
     s_.newly_terminated.push_back(v);  // ascending: the worklist is ascending
-    if (options_.record_terminations) {
-      metrics_.terminations_per_round.back().push_back(v);
+    if (!sinks_.empty()) {
+      const NodeState& st = nodes_[v];
+      for (TraceSink* sink : sinks_) {
+        sink->on_termination(round_, v, st.output, st.edge_outputs);
+      }
     }
   }
   if (s_.newly_terminated.empty()) return;
@@ -486,13 +519,13 @@ RunResult Engine::run() {
   RunResult result;
   result.termination_round.assign(static_cast<std::size_t>(n), -1);
 
+  for (TraceSink* sink : sinks_) sink->on_run_begin(n, options_);
   while (active_count_ > 0 && round_ < options_.max_rounds) {
     ++round_;
-    if (options_.record_active_per_round) {
-      metrics_.active_per_round.push_back(active_count_);
-    }
+    for (TraceSink* sink : sinks_) sink->on_round_begin(round_, active_count_);
     send_phase();
     deliver_round_messages();
+    if (trace_messages_) trace_deliveries();
     receive_phase();
     process_terminations(result.termination_round);
   }
@@ -510,10 +543,14 @@ RunResult Engine::run() {
   result.max_message_words = metrics_.max_message_words;
   result.congest_violations = metrics_.congest_violations;
   if (link_) link_->export_metrics(result);
-  result.active_per_round = std::move(metrics_.active_per_round);
-  result.terminations_per_round = std::move(metrics_.terminations_per_round);
+  if (record_sink_) {
+    result.active_per_round = std::move(record_sink_->active_per_round);
+    result.terminations_per_round =
+        std::move(record_sink_->terminations_per_round);
+  }
   result.peak_arena_bytes =
       static_cast<std::int64_t>(peak_arena_words_ * sizeof(Value));
+  for (TraceSink* sink : sinks_) sink->on_run_end(result);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -573,9 +610,9 @@ std::vector<int> completion_round_per_component(
 std::vector<const Message*> inbox_on_channel(std::span<const Message> inbox,
                                              int channel) {
   std::vector<const Message*> out;
-  for (const Message& m : inbox) {
-    if (m.channel == channel) out.push_back(&m);
-  }
+  for_each_on_channel(inbox, channel, [&](const Message& m) {
+    out.push_back(&m);
+  });
   return out;
 }
 

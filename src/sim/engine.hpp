@@ -27,6 +27,7 @@
 #include "graph/graph.hpp"
 #include "predict/predictions.hpp"
 #include "sim/arena.hpp"
+#include "sim/trace.hpp"
 
 namespace dgap {
 
@@ -240,10 +241,17 @@ struct EngineOptions {
   /// existed; any other value requires congest_word_limit > 0.
   CongestPolicy congest_policy = CongestPolicy::kCount;
   /// Record the number of active nodes at the start of every round.
+  /// (Implemented on the trace spine; RunResult::active_per_round.)
   bool record_active_per_round = false;
   /// Record which nodes terminated in each round (RunResult::
   /// terminations_per_round) — a lightweight run transcript.
+  /// (Implemented on the trace spine.)
   bool record_terminations = false;
+  /// Observer of the run's event stream (round begins, deliveries,
+  /// terminations) — see sim/trace.hpp. Borrowed; must outlive run().
+  /// Null (the default) installs no sink: the engine then makes no
+  /// virtual calls and does no per-message trace work at all.
+  TraceSink* trace_sink = nullptr;
   /// Shard the send and receive phases over this many threads (1 = serial).
   /// Results are bit-identical to the serial run regardless of the value —
   /// see docs/MODEL.md "Simulator internals & performance model".
@@ -335,6 +343,9 @@ class Engine {
   void receive_phase();
   void process_terminations(std::vector<int>& termination_round);
   void charge(std::size_t payload_words, int channel);
+  /// Emit this round's delivered messages (the freshly scattered inbox
+  /// slices) to the sinks. Only called when a sink wants message detail.
+  void trace_deliveries();
 
   const Graph& graph_;
   const Predictions* predictions_;  // borrowed; outlives the engine
@@ -356,6 +367,16 @@ class Engine {
   // default (kCount) data plane is untouched by the link layer.
   std::unique_ptr<detail::LinkLayer> link_;
   std::size_t peak_arena_words_ = 0;
+
+  // --- trace spine (sim/trace.hpp). sinks_ holds the user's sink and/or
+  // the internal RunRecordSink behind the record_* options; empty when
+  // recording is off, and then the round loop tests one integer and makes
+  // no virtual calls. trace_messages_ caches "some sink wants per-message
+  // events" so the delivery path stays free of them otherwise.
+  std::unique_ptr<detail::RunRecordSink> record_sink_;
+  std::vector<TraceSink*> sinks_;
+  std::vector<TraceSink*> message_sinks_;  // sinks wanting per-message events
+  bool trace_messages_ = false;            // = !message_sinks_.empty()
 };
 
 /// The shared immutable empty Predictions instance used by every run
@@ -374,7 +395,21 @@ RunResult run_with_predictions(const Graph& g, const Predictions& predictions,
                                EngineOptions options = {},
                                ThreadPool* shared_pool = nullptr);
 
-/// Messages in `inbox` with the given channel.
+/// Apply `fn` to every message in `inbox` with the given channel, in inbox
+/// order. Allocation-free — the filter runs inline, so per-round hot loops
+/// (and composed-program receive hooks, alongside the lazy ChannelInbox in
+/// sim/phase.hpp) never materialize a vector of pointers.
+template <typename Fn>
+void for_each_on_channel(std::span<const Message> inbox, int channel,
+                         const Fn& fn) {
+  for (const Message& m : inbox) {
+    if (m.channel == channel) fn(m);
+  }
+}
+
+/// Messages in `inbox` with the given channel. Materializes a vector —
+/// prefer for_each_on_channel (or Channel::inbox()) in per-round code;
+/// this overload is kept for call sites that need random access.
 std::vector<const Message*> inbox_on_channel(std::span<const Message> inbox,
                                              int channel);
 

@@ -1,0 +1,135 @@
+// The engine's event spine: a single observer interface onto which every
+// form of run observability is built.
+//
+// The engine is deterministic — a RunResult is a pure function of (graph,
+// predictions, factory, options) — so the stream of per-round events
+// (round begins, message deliveries, terminations with outputs) is a
+// *complete* description of a run. A TraceSink receives that stream; the
+// consumers built on it are
+//
+//   * detail::RunRecordSink — reimplements the classic EngineOptions
+//     recording flags (record_active_per_round / record_terminations);
+//     the RunResult fields stay bit-identical to the pre-spine engine;
+//   * TranscriptWriter (sim/transcript.hpp) — the versioned binary
+//     record/replay format behind golden-transcript regression, the
+//     ReplayEngine debugger and `tools/dgap_trace`;
+//   * VerifySink (sim/transcript.hpp) — replays a recorded transcript
+//     against a live run and fails at the first divergent event.
+//
+// Cost contract: when no sink is installed the engine performs no virtual
+// calls and no per-message work — the hot path tests one cached integer.
+// Per-message events are additionally gated on the sink's detail level, so
+// a rounds-only sink costs O(rounds + terminations) calls, never
+// O(messages). All events are emitted from the engine's serial sections
+// (the round loop, the delivery scatter, the termination sweep); sinks
+// never race with the sharded send/receive phases and need no locking.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/arena.hpp"
+
+namespace dgap {
+
+struct EngineOptions;
+struct RunResult;
+
+/// How much of the run a sink wants to observe.
+enum class TraceDetail {
+  /// Round begins (with active counts) and terminations (with outputs).
+  kRounds = 0,
+  /// Plus one event per delivered message: (round, from, to, channel,
+  /// word count, truncated) — the communication pattern without payloads.
+  kMessages = 1,
+  /// Plus the payload words of every delivered message.
+  kPayloads = 2,
+};
+
+/// One message delivery, observed at the receiver in the round it arrives
+/// (under CongestPolicy::kDefer that is the round the last word crossed
+/// the link, so a transcript records the *effective* schedule). `words`
+/// borrows the round arena — valid only during the callback; sinks that
+/// keep payloads must copy them out.
+struct TraceMessage {
+  int round = 0;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  int channel = 0;
+  WordSpan words;
+  bool truncated = false;
+};
+
+/// Observer of one engine run. Hooks fire in run order:
+///   on_run_begin, then per round (on_round_begin, on_message*,
+///   on_termination*), then on_run_end. Messages of a round arrive
+///   receiver-grouped in the engine's canonical delivery order (the inbox
+///   order: receivers in first-touch order, each slice sorted by (sender,
+///   channel, send order)); terminations arrive in ascending node order.
+/// The stream is bit-identical across num_threads and batch scheduling —
+/// the same determinism contract as RunResult, and the property the
+/// transcript tests pin.
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+
+  /// Highest detail this sink consumes. The engine caches the maximum over
+  /// its installed sinks once per run; per-message events are only
+  /// produced when some sink asked for kMessages or kPayloads.
+  virtual TraceDetail detail() const { return TraceDetail::kRounds; }
+
+  /// Start of run(): the instance size and the options in effect.
+  virtual void on_run_begin(NodeId n, const EngineOptions& options);
+  /// Start of round `round` (1-based); `active` nodes will participate.
+  virtual void on_round_begin(int round, NodeId active);
+  /// One delivered message (gated on detail() >= kMessages).
+  virtual void on_message(const TraceMessage& m);
+  /// Node `node` terminated at the end of `round` with the given outputs
+  /// (`edge_outputs` sorted by key; both borrow engine state — copy to
+  /// keep). Fired in ascending node order within a round.
+  virtual void on_termination(int round, NodeId node, Value output,
+                              std::span<const std::pair<NodeId, Value>>
+                                  edge_outputs);
+  /// End of run(): the finished result (wall_ms not yet stamped; sinks
+  /// must not record it — transcripts exclude wall-clock by design).
+  virtual void on_run_end(const RunResult& result);
+};
+
+namespace detail {
+
+/// The spine reimplementation of EngineOptions::record_active_per_round /
+/// record_terminations. The engine installs one privately when either flag
+/// is set and moves the vectors into the RunResult afterwards; contents
+/// are bit-identical to the pre-spine inline bookkeeping (pinned by
+/// engine_determinism_test).
+class RunRecordSink final : public TraceSink {
+ public:
+  RunRecordSink(bool record_active, bool record_terminations)
+      : record_active_(record_active),
+        record_terminations_(record_terminations) {}
+
+  TraceDetail detail() const override { return TraceDetail::kRounds; }
+  void on_round_begin(int round, NodeId active) override {
+    if (record_active_) active_per_round.push_back(active);
+    if (record_terminations_) {
+      terminations_per_round.resize(static_cast<std::size_t>(round));
+    }
+  }
+  void on_termination(int /*round*/, NodeId node, Value /*output*/,
+                      std::span<const std::pair<NodeId, Value>>) override {
+    if (record_terminations_) terminations_per_round.back().push_back(node);
+  }
+
+  std::vector<int> active_per_round;
+  std::vector<std::vector<NodeId>> terminations_per_round;
+
+ private:
+  bool record_active_;
+  bool record_terminations_;
+};
+
+}  // namespace detail
+
+}  // namespace dgap

@@ -19,6 +19,7 @@
 #include "random/luby.hpp"
 #include "sim/batch.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/transcript.hpp"
 #include "templates/mis_with_predictions.hpp"
 
 namespace dgap {
@@ -273,6 +274,85 @@ TEST(Batch, SharedThreadPoolMatchesOwnedPoolAndSerial) {
         run_algorithm(g, luby_mis_algorithm(9), four, &pool);
       },
       std::invalid_argument);
+}
+
+// Full-transcript capture: byte equality across worker counts, shuffled
+// submission, and against a directly recorded serial run. Stronger than
+// the checksum comparisons above — a transcript pins every delivered word
+// of every round, so scheduling cannot leak into *any* observable, not
+// just the aggregated RunResult fields.
+TEST(Batch, CapturedTranscriptsAreSchedulingInvariant) {
+  GraphCache cache;
+  const auto cases = sweep_cases(cache);
+
+  // Reference bytes: record each job serially, outside any batch.
+  std::vector<std::vector<std::uint8_t>> reference;
+  for (const SweepCase& c : cases) {
+    EngineOptions opt = c.options;
+    opt.num_threads = 1;
+    reference.push_back(
+        record_run(*c.graph, c.pred, c.make(), opt).transcript);
+  }
+
+  auto make_capture_job = [](const SweepCase& c) {
+    BatchJob job = make_job(*c.graph, c.make(), c.pred, c.options);
+    job.capture_transcript = true;
+    return job;
+  };
+
+  for (int workers : {1, 2, 4}) {
+    BatchRunner runner({workers});
+    for (const SweepCase& c : cases) runner.add(make_capture_job(c));
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.size(), cases.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_EQ(results[i].transcript, reference[i])
+          << "workers=" << workers << " job " << i;
+    }
+  }
+
+  // Shuffled submission: slot i's bytes are original job perm[i]'s bytes.
+  std::vector<std::size_t> perm(cases.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  Rng rng(4242);
+  rng.shuffle(perm);
+  BatchRunner runner({3});
+  for (std::size_t p : perm) runner.add(make_capture_job(cases[p]));
+  const auto shuffled = runner.run_all();
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    ASSERT_TRUE(shuffled[i].ok) << shuffled[i].error;
+    EXPECT_EQ(shuffled[i].transcript, reference[perm[i]])
+        << "slot " << i;
+  }
+}
+
+TEST(Batch, SpecJobsEmbedTheirSpecInTheTranscript) {
+  const auto spec =
+      GraphSpec::gnp(18, 0.25, /*seed=*/3, GraphSpec::IdPolicy::kRandomized);
+  BatchRunner runner({2});
+  BatchJob job = make_job(spec, luby_mis_algorithm(5));
+  job.capture_transcript = true;
+  job.transcript_label = "spec_job";
+  runner.add(std::move(job));
+  const auto results = runner.run_all();
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  const Transcript t = decode_transcript(results[0].transcript);
+  EXPECT_EQ(t.label, "spec_job");
+  ASSERT_TRUE(t.spec.has_value());
+  EXPECT_EQ(*t.spec, spec);
+  EXPECT_EQ(t.n, runner.graph_cache().get(spec)->num_nodes());
+  EXPECT_TRUE(t.summary.completed);
+}
+
+TEST(Batch, CaptureRejectsJobsWithTheirOwnSink) {
+  Graph g = make_ring(8);
+  TranscriptWriter writer;
+  BatchJob job = make_job(g, greedy_mis_algorithm());
+  job.capture_transcript = true;
+  job.options.trace_sink = &writer;
+  BatchRunner runner({1});
+  EXPECT_THROW(runner.add(std::move(job)), std::invalid_argument);
 }
 
 TEST(Batch, JobNumThreadsIsForcedSingleThreaded) {

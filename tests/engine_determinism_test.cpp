@@ -23,6 +23,7 @@
 #include "mis/congest_global.hpp"
 #include "random/luby.hpp"
 #include "sim/engine.hpp"
+#include "sim/transcript.hpp"
 
 namespace dgap {
 namespace {
@@ -225,6 +226,72 @@ TEST(EngineDeterminism, DeferPolicyShuffleInvariantPerIdentifier) {
       EXPECT_EQ(base.termination_round[v], shuffled.termination_round[perm[v]])
           << "termination round of id " << g.id(v);
     }
+  }
+}
+
+// A full payload-level transcript is the strongest determinism witness:
+// byte equality pins every delivered word of every round, not just the
+// aggregate counters expect_identical compares. The serial transcript is
+// the reference; any thread count must reproduce it bit-for-bit. (The
+// header deliberately omits num_threads, so equal logical runs give equal
+// bytes — see sim/transcript.hpp.)
+TEST(EngineDeterminism, TranscriptIsThreadCountInvariant) {
+  Graph g = test_graph();
+  EngineOptions opt = recording_options(1);
+  const RecordedRun serial =
+      record_run(g, {}, luby_mis_algorithm(42), opt, TraceDetail::kPayloads);
+  ASSERT_TRUE(serial.result.completed);
+  for (int threads : {2, 4}) {
+    EngineOptions topt = opt;
+    topt.num_threads = threads;
+    const RecordedRun parallel = record_run(g, {}, luby_mis_algorithm(42),
+                                            topt, TraceDetail::kPayloads);
+    EXPECT_EQ(serial.transcript, parallel.transcript)
+        << "num_threads = " << threads;
+    expect_identical(serial.result, parallel.result);
+  }
+}
+
+TEST(EngineDeterminism, DeferTranscriptIsThreadCountInvariant) {
+  // Under kDefer the transcript records effective arrival rounds, so byte
+  // equality also pins the whole deferral schedule.
+  Graph g = test_graph();
+  EngineOptions opt = recording_options(1);
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 3;
+  auto factory = [](NodeId) { return std::make_unique<BurstEchoProgram>(); };
+  const RecordedRun serial =
+      record_run(g, {}, factory, opt, TraceDetail::kPayloads);
+  ASSERT_TRUE(serial.result.completed);
+  ASSERT_GT(serial.result.deferred_words, 0);
+  for (int threads : {2, 4}) {
+    EngineOptions topt = opt;
+    topt.num_threads = threads;
+    const RecordedRun parallel =
+        record_run(g, {}, factory, topt, TraceDetail::kPayloads);
+    EXPECT_EQ(serial.transcript, parallel.transcript)
+        << "num_threads = " << threads;
+  }
+}
+
+// The record_* options are reimplemented on the trace spine
+// (detail::RunRecordSink); the fields they fill must stay bit-identical
+// to the transcript's own per-round view of the same run.
+TEST(EngineDeterminism, RecordOptionsMatchTranscriptSpine) {
+  Graph g = test_graph();
+  const RecordedRun run = record_run(g, {}, luby_mis_algorithm(42),
+                                     recording_options(1),
+                                     TraceDetail::kRounds);
+  const Transcript t = decode_transcript(run.transcript);
+  ASSERT_EQ(t.rounds.size(), run.result.active_per_round.size());
+  ASSERT_EQ(t.rounds.size(), run.result.terminations_per_round.size());
+  for (std::size_t i = 0; i < t.rounds.size(); ++i) {
+    EXPECT_EQ(t.rounds[i].active, run.result.active_per_round[i]);
+    std::vector<NodeId> terms;
+    for (const TranscriptTermination& term : t.rounds[i].terminations) {
+      terms.push_back(term.node);
+    }
+    EXPECT_EQ(terms, run.result.terminations_per_round[i]);
   }
 }
 

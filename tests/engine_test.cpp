@@ -183,9 +183,12 @@ TEST(Engine, ChannelsAreIsolated) {
       }
     }
     void on_receive(NodeContext& ctx) override {
-      const auto c1 = inbox_on_channel(ctx.inbox(), 1);
-      const auto c2 = inbox_on_channel(ctx.inbox(), 2);
-      ctx.set_output(static_cast<Value>(10 * c1.size() + c2.size()));
+      // Allocation-free per-channel filter (the vector-returning
+      // inbox_on_channel overload remains for random-access callers).
+      Value c1 = 0, c2 = 0;
+      for_each_on_channel(ctx.inbox(), 1, [&](const Message&) { ++c1; });
+      for_each_on_channel(ctx.inbox(), 2, [&](const Message&) { ++c2; });
+      ctx.set_output(10 * c1 + c2);
       ctx.terminate();
     }
   };
@@ -194,6 +197,31 @@ TEST(Engine, ChannelsAreIsolated) {
       g, [](NodeId) { return std::make_unique<MultiChannelProgram>(); });
   EXPECT_EQ(result.outputs[0], 12);
   EXPECT_EQ(result.outputs[1], 12);
+}
+
+TEST(Engine, ForEachOnChannelPreservesInboxOrderAndMatchesOverload) {
+  // The callback helper and the vector-returning overload must agree on
+  // both membership and order for every channel.
+  std::vector<Value> payloads = {10, 20, 30, 40, 50};
+  std::vector<Message> inbox;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Message m;
+    m.from = static_cast<NodeId>(i);
+    m.channel = static_cast<int>(i % 3);
+    m.words = WordSpan(&payloads[i], 1);
+    inbox.push_back(m);
+  }
+  for (int channel = -1; channel <= 3; ++channel) {
+    std::vector<const Message*> seen;
+    for_each_on_channel(inbox, channel, [&](const Message& m) {
+      seen.push_back(&m);
+    });
+    EXPECT_EQ(seen, inbox_on_channel(inbox, channel)) << "channel "
+                                                      << channel;
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+      EXPECT_LT(seen[i - 1]->from, seen[i]->from);  // inbox order kept
+    }
+  }
 }
 
 TEST(Engine, EdgeOutputsRecorded) {

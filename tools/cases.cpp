@@ -1,0 +1,96 @@
+#include "cases.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "mis/congest_global.hpp"
+#include "predict/generators.hpp"
+#include "random/luby.hpp"
+#include "templates/mis_with_predictions.hpp"
+
+namespace dgap {
+
+const std::vector<CanonicalCase>& canonical_cases() {
+  static const std::vector<CanonicalCase> cases = [] {
+    std::vector<CanonicalCase> out;
+
+    // 1. The engine fast path: randomized Luby MIS on a sparse G(n, p).
+    {
+      CanonicalCase c;
+      c.name = "luby_gnp256";
+      c.description = "Luby MIS on gnp(256, p=0.02, seed 2024), fast path";
+      c.spec = GraphSpec::gnp(256, 0.02, 2024);
+      c.factory = [] { return luby_mis_algorithm(42); };
+      out.push_back(std::move(c));
+    }
+
+    // 2. The enforced link layer: CONGEST global MIS under a 1-word
+    // per-edge budget with kDefer queueing — transcripts record effective
+    // arrival rounds, so the whole deferral schedule is pinned.
+    {
+      CanonicalCase c;
+      c.name = "congest_defer_tree12";
+      c.description =
+          "CONGEST global MIS on random_tree(12, seed 7), kDefer budget 1";
+      c.spec = GraphSpec::random_tree(12, 7);
+      c.options.congest_word_limit = 1;
+      c.options.congest_policy = CongestPolicy::kDefer;
+      c.factory = [] { return congest_global_mis_algorithm(); };
+      out.push_back(std::move(c));
+    }
+
+    // 3. A composed prediction template cut mid-run (completed = false):
+    // pins the lockstep stage schedule, the prediction-dependent traffic,
+    // and the incomplete-run trailer path.
+    {
+      CanonicalCase c;
+      c.name = "linial_grid_cut3";
+      c.description =
+          "MIS-with-predictions (parallel Linial) on grid(6, 5), 3 flipped "
+          "bits, cut at round 3";
+      c.spec = GraphSpec::grid(6, 5);
+      c.options.max_rounds = 3;
+      c.predictions = [](const Graph& g) {
+        Rng rng(913);
+        Predictions correct = mis_correct_prediction(g, rng);
+        return flip_bits(correct, 3, rng);
+      };
+      c.factory = [] { return mis_parallel_linial(); };
+      out.push_back(std::move(c));
+    }
+
+    return out;
+  }();
+  return cases;
+}
+
+const CanonicalCase* find_canonical_case(const std::string& name) {
+  for (const CanonicalCase& c : canonical_cases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+RecordedRun record_canonical_case(const CanonicalCase& c, TraceDetail detail) {
+  const Graph g = c.spec.build();
+  const Predictions predictions = c.predictions ? c.predictions(g)
+                                                : Predictions{};
+  return record_run(g, predictions, c.factory(), c.options, detail, c.name,
+                    c.spec);
+}
+
+RunResult verify_canonical_case(const CanonicalCase& c,
+                                const Transcript& golden) {
+  DGAP_REQUIRE(golden.label == c.name,
+               "transcript '" + golden.label + "' is not case '" + c.name +
+                   "'");
+  const Graph g = c.spec.build();
+  const Predictions predictions = c.predictions ? c.predictions(g)
+                                                : Predictions{};
+  return run_verified(g, predictions, c.factory(), c.options, golden);
+}
+
+std::string golden_file_name(const CanonicalCase& c) {
+  return c.name + ".dgaptr";
+}
+
+}  // namespace dgap

@@ -1,0 +1,50 @@
+// Canonical recorded runs: the golden-transcript regression corpus.
+//
+// Each case names a fully spec-built instance, an algorithm, a
+// deterministic prediction recipe, and engine options — everything needed
+// to re-execute the run from the transcript header alone. The committed
+// goldens under tests/golden/ are these cases at TraceDetail::kPayloads;
+// `dgap_trace verify` (and transcript_test's golden fixture, and the CI
+// gate) re-runs each case against its golden and fails at the first
+// divergent round. The corpus spans the three engine regimes: the plain
+// fast path (Luby on G(n, p)), the enforced link layer under kDefer
+// (CONGEST global MIS), and a composed prediction template cut mid-run.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/transcript.hpp"
+
+namespace dgap {
+
+struct CanonicalCase {
+  std::string name;         // transcript label and golden file stem
+  std::string description;  // one line for `dgap_trace list`
+  GraphSpec spec;
+  EngineOptions options;
+  /// Deterministic prediction recipe (null = run without predictions).
+  std::function<Predictions(const Graph&)> predictions;
+  std::function<ProgramFactory()> factory;
+};
+
+/// The registry, in a fixed order.
+const std::vector<CanonicalCase>& canonical_cases();
+
+/// Case by name; null if unknown.
+const CanonicalCase* find_canonical_case(const std::string& name);
+
+/// Re-execute `c` and serialize it at `detail` (goldens use kPayloads).
+RecordedRun record_canonical_case(const CanonicalCase& c,
+                                  TraceDetail detail = TraceDetail::kPayloads);
+
+/// Re-execute `c` live against a recorded transcript; throws
+/// (DGAP_ASSERT) at the first divergent round.
+RunResult verify_canonical_case(const CanonicalCase& c,
+                                const Transcript& golden);
+
+/// Golden file name for a case: "<name>.dgaptr".
+std::string golden_file_name(const CanonicalCase& c);
+
+}  // namespace dgap

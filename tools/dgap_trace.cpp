@@ -1,0 +1,178 @@
+// dgap_trace: record, verify, diff and inspect binary round transcripts.
+//
+//   dgap_trace list
+//       List the canonical cases and their golden file names.
+//   dgap_trace record <case>|all <dir>
+//       Re-execute canonical case(s) and write <dir>/<case>.dgaptr.
+//   dgap_trace verify <file>...
+//       Re-execute each transcript's canonical case (matched by label)
+//       live against it; exits nonzero naming the first divergent round.
+//       This is the CI golden-regression gate.
+//   dgap_trace diff <a> <b>
+//       First divergent (round, field) of two transcripts; exit 1 if they
+//       differ, 0 if identical.
+//   dgap_trace stats <file>...
+//       Header, per-round message/termination profile, and totals.
+//
+// Transcripts are self-describing (GraphSpec + options in the header), so
+// verify needs only the file and the case registry in tools/cases.cpp.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cases.hpp"
+
+namespace {
+
+using namespace dgap;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgap_trace list\n"
+               "       dgap_trace record <case>|all <dir>\n"
+               "       dgap_trace verify <file>...\n"
+               "       dgap_trace diff <a> <b>\n"
+               "       dgap_trace stats <file>...\n");
+  return 2;
+}
+
+const char* detail_name(TraceDetail d) {
+  switch (d) {
+    case TraceDetail::kRounds: return "rounds";
+    case TraceDetail::kMessages: return "messages";
+    case TraceDetail::kPayloads: return "payloads";
+  }
+  return "?";
+}
+
+int cmd_list() {
+  for (const CanonicalCase& c : canonical_cases()) {
+    std::printf("%-22s %-26s %s\n", c.name.c_str(),
+                golden_file_name(c).c_str(), c.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_record(const std::string& which, const std::string& dir) {
+  std::vector<const CanonicalCase*> selected;
+  if (which == "all") {
+    for (const CanonicalCase& c : canonical_cases()) selected.push_back(&c);
+  } else {
+    const CanonicalCase* c = find_canonical_case(which);
+    if (c == nullptr) {
+      std::fprintf(stderr, "dgap_trace: unknown case '%s' (try: list)\n",
+                   which.c_str());
+      return 2;
+    }
+    selected.push_back(c);
+  }
+  for (const CanonicalCase* c : selected) {
+    const RecordedRun run = record_canonical_case(*c);
+    const std::string path = dir + "/" + golden_file_name(*c);
+    write_transcript_file(path, run.transcript);
+    std::printf("recorded %-22s -> %s (%zu bytes, %d rounds%s)\n",
+                c->name.c_str(), path.c_str(), run.transcript.size(),
+                run.result.rounds, run.result.completed ? "" : ", cut");
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& files) {
+  int failures = 0;
+  for (const std::string& path : files) {
+    try {
+      const Transcript golden = decode_transcript(read_transcript_file(path));
+      const CanonicalCase* c = find_canonical_case(golden.label);
+      if (c == nullptr) {
+        std::fprintf(stderr,
+                     "FAIL %s: transcript label '%s' is not a canonical "
+                     "case\n",
+                     path.c_str(), golden.label.c_str());
+        ++failures;
+        continue;
+      }
+      const RunResult result = verify_canonical_case(*c, golden);
+      std::printf("OK   %s: %s, %d rounds, %lld messages\n", path.c_str(),
+                  c->name.c_str(), result.rounds,
+                  static_cast<long long>(result.total_messages));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  const Transcript a = decode_transcript(read_transcript_file(a_path));
+  const Transcript b = decode_transcript(read_transcript_file(b_path));
+  if (const auto d = diff_transcripts(a, b)) {
+    std::printf("transcripts diverge at round %d: %s\n", d->round,
+                d->field.c_str());
+    return 1;
+  }
+  std::printf("transcripts are identical (%d rounds)\n", a.summary.rounds);
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& files) {
+  for (const std::string& path : files) {
+    const Transcript t = decode_transcript(read_transcript_file(path));
+    std::printf("%s\n", path.c_str());
+    std::printf("  label        %s\n", t.label.c_str());
+    std::printf("  detail       %s\n", detail_name(t.detail));
+    if (t.spec) {
+      std::printf("  instance     %s (n = %lld)\n", t.spec->name().c_str(),
+                  static_cast<long long>(t.n));
+    } else {
+      std::printf("  instance     ad hoc (n = %lld)\n",
+                  static_cast<long long>(t.n));
+    }
+    std::printf("  options      max_rounds %d, word limit %d, policy %d\n",
+                t.max_rounds, t.congest_word_limit,
+                static_cast<int>(t.congest_policy));
+    std::printf("  run          %s, %d rounds, %lld messages, %lld words\n",
+                t.summary.completed ? "completed" : "cut",
+                t.summary.rounds,
+                static_cast<long long>(t.summary.total_messages),
+                static_cast<long long>(t.summary.total_words));
+    // Walk the run with the replayer: per-round profile.
+    ReplayEngine replay(t);
+    while (replay.step()) {
+      std::int64_t words = 0;
+      for (const TranscriptMessage& m : replay.messages()) words += m.len;
+      std::printf("  round %-4d   active %-5lld messages %-5zu words %-6lld "
+                  "terminated %zu\n",
+                  replay.round(),
+                  static_cast<long long>(replay.active_count()),
+                  replay.messages().size(), static_cast<long long>(words),
+                  replay.terminations().size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "list" && args.size() == 1) return cmd_list();
+    if (cmd == "record" && args.size() == 3) return cmd_record(args[1], args[2]);
+    if (cmd == "verify" && args.size() >= 2) {
+      return cmd_verify({args.begin() + 1, args.end()});
+    }
+    if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+    if (cmd == "stats" && args.size() >= 2) {
+      return cmd_stats({args.begin() + 1, args.end()});
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dgap_trace: %s\n", e.what());
+    return 1;
+  }
+}
