@@ -1,0 +1,81 @@
+#include "predict/warm_start.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace dgap {
+
+namespace {
+
+/// For each node of `next`, its internal index in `prev` (kNoNode when the
+/// identifier did not exist there). Also checks the outputs vector shape.
+std::vector<NodeId> prev_index_of(const Graph& prev,
+                                  const std::vector<Value>& prev_outputs,
+                                  const Graph& next) {
+  DGAP_REQUIRE(prev_outputs.size() ==
+                   static_cast<std::size_t>(prev.num_nodes()),
+               "warm start needs one previous output per previous node");
+  std::unordered_map<Value, NodeId> by_id;
+  by_id.reserve(static_cast<std::size_t>(prev.num_nodes()));
+  for (NodeId v = 0; v < prev.num_nodes(); ++v) by_id.emplace(prev.id(v), v);
+  std::vector<NodeId> map(static_cast<std::size_t>(next.num_nodes()), kNoNode);
+  for (NodeId v = 0; v < next.num_nodes(); ++v) {
+    auto it = by_id.find(next.id(v));
+    if (it != by_id.end()) map[static_cast<std::size_t>(v)] = it->second;
+  }
+  return map;
+}
+
+}  // namespace
+
+Predictions warm_start_mis(const Graph& prev,
+                           const std::vector<Value>& prev_outputs,
+                           const Graph& next) {
+  const auto map = prev_index_of(prev, prev_outputs, next);
+  std::vector<Value> pred(static_cast<std::size_t>(next.num_nodes()), 0);
+  for (NodeId v = 0; v < next.num_nodes(); ++v) {
+    const NodeId pv = map[static_cast<std::size_t>(v)];
+    if (pv == kNoNode) continue;
+    const Value out = prev_outputs[static_cast<std::size_t>(pv)];
+    if (out == 0 || out == 1) pred[static_cast<std::size_t>(v)] = out;
+  }
+  return Predictions(std::move(pred));
+}
+
+Predictions warm_start_matching(const Graph& prev,
+                                const std::vector<Value>& prev_outputs,
+                                const Graph& next) {
+  const auto map = prev_index_of(prev, prev_outputs, next);
+  std::unordered_set<Value> next_ids;
+  next_ids.reserve(static_cast<std::size_t>(next.num_nodes()));
+  for (NodeId v = 0; v < next.num_nodes(); ++v) next_ids.insert(next.id(v));
+  std::vector<Value> pred(static_cast<std::size_t>(next.num_nodes()),
+                          kNoNode);
+  for (NodeId v = 0; v < next.num_nodes(); ++v) {
+    const NodeId pv = map[static_cast<std::size_t>(v)];
+    if (pv == kNoNode) continue;
+    const Value out = prev_outputs[static_cast<std::size_t>(pv)];
+    // Identifiers are positive; anything else (⊥ included) stays ⊥. A
+    // partner whose identifier was deleted is dropped, not replayed.
+    if (out >= 1 && next_ids.count(out)) pred[static_cast<std::size_t>(v)] = out;
+  }
+  return Predictions(std::move(pred));
+}
+
+Predictions warm_start_coloring(const Graph& prev,
+                                const std::vector<Value>& prev_outputs,
+                                const Graph& next) {
+  const auto map = prev_index_of(prev, prev_outputs, next);
+  std::vector<Value> pred(static_cast<std::size_t>(next.num_nodes()), 0);
+  for (NodeId v = 0; v < next.num_nodes(); ++v) {
+    const NodeId pv = map[static_cast<std::size_t>(v)];
+    if (pv == kNoNode) continue;
+    const Value out = prev_outputs[static_cast<std::size_t>(pv)];
+    if (out >= 1) pred[static_cast<std::size_t>(v)] = out;
+  }
+  return Predictions(std::move(pred));
+}
+
+}  // namespace dgap

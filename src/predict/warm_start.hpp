@@ -1,0 +1,47 @@
+// Output-as-prediction adapters: warm-starting across graph versions.
+//
+// The Section 1.1 serving scenario replays a solution computed on an old
+// graph version as the prediction on the new one. Outputs are recorded by
+// internal index, but indices are not stable across versions — only
+// identifiers are (graph/edits.hpp). These adapters translate a previous
+// run's outputs onto the next graph by identifier:
+//
+//   * a surviving node inherits its own old output as its prediction;
+//   * a node inserted after the old run gets the problem's neutral
+//     prediction (MIS: 0, matching: ⊥, coloring: 0 = "no color");
+//   * stale values are DROPPED, never passed through: a matching partner
+//     identifier that no longer exists in the new graph becomes ⊥, and
+//     any old output outside the problem's encoding (kUndefined, the
+//     phase runner's leftover marker) is treated as absent.
+//
+// The result is always a well-formed prediction vector for the new graph
+// — possibly erroneous (that is the point: the error measures quantify
+// it), never out of contract.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "predict/predictions.hpp"
+
+namespace dgap {
+
+/// MIS: old bit if the node existed and output 0/1; otherwise 0.
+Predictions warm_start_mis(const Graph& prev,
+                           const std::vector<Value>& prev_outputs,
+                           const Graph& next);
+
+/// Matching: old partner identifier if the node existed, the output was a
+/// partner id or ⊥, and the partner still exists in `next`; otherwise ⊥.
+Predictions warm_start_matching(const Graph& prev,
+                                const std::vector<Value>& prev_outputs,
+                                const Graph& next);
+
+/// Coloring: old color if the node existed and output a positive color;
+/// otherwise 0 (outside every palette, so the base algorithm treats the
+/// node as active).
+Predictions warm_start_coloring(const Graph& prev,
+                                const std::vector<Value>& prev_outputs,
+                                const Graph& next);
+
+}  // namespace dgap

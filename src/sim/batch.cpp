@@ -48,6 +48,9 @@ std::size_t BatchRunner::add(BatchJob job) {
   DGAP_REQUIRE(!job.capture_transcript || job.options.trace_sink == nullptr,
                "capture_transcript installs its own trace sink; the job's "
                "options must not carry one");
+  DGAP_REQUIRE(job.algorithm_id.empty() || job.options.trace_sink == nullptr,
+               "a content-addressed job cannot carry a trace sink — the "
+               "sink would not fire on a cache hit");
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
 }
@@ -75,6 +78,34 @@ std::vector<BatchResult> BatchRunner::run_all() {
 
   const std::size_t count = jobs_.size();
   std::vector<BatchResult> results(count);
+
+  // Content addressing, serially and in submission order on both sides of
+  // the pool: probe before dispatch (hits never reach a worker), fill
+  // after the barrier (insertion order is the submission order, so the
+  // cache's state after run_all is schedule-independent).
+  std::vector<std::uint64_t> keys(count, 0);
+  std::vector<std::uint8_t> cacheable(count, 0);
+  std::vector<std::uint8_t> cached(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const BatchJob& job = jobs_[i];
+    if (job.algorithm_id.empty()) continue;
+    cacheable[i] = 1;
+    const std::uint64_t instance =
+        job.use_spec ? spec_digest(job.spec) : graph_digest(*job.graph);
+    keys[i] = result_cache_key(
+        instance, job.algorithm_id, predictions_digest(job.predictions),
+        options_digest(job.options), job.capture_transcript,
+        job.transcript_detail);
+    if (auto entry = results_.get(keys[i])) {
+      results[i].index = i;
+      results[i].ok = true;
+      results[i].cache_hit = true;
+      results[i].result = entry->result;
+      results[i].transcript = entry->transcript;
+      cached[i] = 1;
+    }
+  }
+
   std::atomic<std::size_t> next{0};
   // Work-stealing counter over the persistent pool. Which worker runs
   // which job is timing-dependent; results are not: each job's engine is
@@ -86,6 +117,7 @@ std::vector<BatchResult> BatchRunner::run_all() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      if (cached[i]) continue;
       BatchJob& job = jobs_[i];
       BatchResult& out = results[i];
       out.index = i;
@@ -110,6 +142,11 @@ std::vector<BatchResult> BatchRunner::run_all() {
       }
     }
   });
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cacheable[i] && !cached[i] && results[i].ok) {
+      results_.put(keys[i], results[i].result, results[i].transcript);
+    }
+  }
   jobs_.clear();
   return results;
 }

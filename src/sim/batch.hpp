@@ -35,6 +35,7 @@
 #include "graph/spec.hpp"
 #include "predict/predictions.hpp"
 #include "sim/engine.hpp"
+#include "sim/result_cache.hpp"
 
 namespace dgap {
 
@@ -56,6 +57,15 @@ struct BatchJob {
   bool capture_transcript = false;
   TraceDetail transcript_detail = TraceDetail::kPayloads;
   std::string transcript_label;
+  /// Stable name of the algorithm `factory` builds (e.g. "mis/greedy").
+  /// When non-empty, the job is CONTENT-ADDRESSED through the runner's
+  /// ResultCache (sim/result_cache.hpp): an identical job — same instance,
+  /// options, predictions, algorithm id, transcript request — submitted in
+  /// any later (or the same) batch is served from the cache without
+  /// executing. The id is the caller's contract that equal ids mean equal
+  /// per-node behavior. Incompatible with options.trace_sink (the sink
+  /// would not fire on a hit; DGAP_REQUIRE at add()).
+  std::string algorithm_id;
 };
 
 /// Job against an existing graph (borrowed; caller keeps it alive).
@@ -74,6 +84,11 @@ struct BatchResult {
   /// Byte-identical across worker counts and submission schedules — the
   /// strongest determinism witness the runner offers (batch_test pins it).
   std::vector<std::uint8_t> transcript;
+  /// True iff this job was served from the result cache. Served results
+  /// are bit-identical to a recompute (the engine is deterministic), so
+  /// this is observability, not semantics — wall_ms is the original
+  /// run's, the only field a hit can "misreport".
+  bool cache_hit = false;
 };
 
 struct BatchOptions {
@@ -114,9 +129,16 @@ class BatchRunner {
   /// spec when predictions must be computed from the instance).
   GraphCache& graph_cache() { return cache_; }
 
+  /// The content-addressed result cache serving jobs with an algorithm_id
+  /// (shared across batches, like the graph cache). Hits and fills are
+  /// both performed serially in submission order, so caching cannot leak
+  /// worker scheduling into results.
+  ResultCache& result_cache() { return results_; }
+
  private:
   BatchOptions options_;
   GraphCache cache_;
+  ResultCache results_;
   std::vector<BatchJob> jobs_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<EngineScratch> scratch_;  // one per worker slot

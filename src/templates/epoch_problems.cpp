@@ -1,0 +1,58 @@
+#include "templates/epoch_problems.hpp"
+
+#include "coloring/checkers.hpp"
+#include "matching/checkers.hpp"
+#include "mis/checkers.hpp"
+#include "predict/error_measures.hpp"
+#include "predict/generators.hpp"
+#include "predict/warm_start.hpp"
+#include "templates/mis_with_predictions.hpp"
+#include "templates/problems_with_predictions.hpp"
+
+namespace dgap {
+
+EpochProblem epoch_mis() {
+  EpochProblem p;
+  p.name = "mis_simple_greedy";
+  p.factory = [] { return mis_simple_greedy(); };
+  p.scratch = [](const Graph& g) { return all_same(g, 0); };
+  p.warm = &warm_start_mis;
+  p.eta = &eta1_mis;
+  p.degradation_bound = [](int eta, const Graph&) { return eta + 3; };
+  p.check = [](const Graph& g, const RunResult& r) {
+    return check_mis(g, r.outputs);
+  };
+  return p;
+}
+
+EpochProblem epoch_matching() {
+  EpochProblem p;
+  p.name = "matching_simple_greedy";
+  p.factory = [] { return matching_simple_greedy(); };
+  p.scratch = [](const Graph& g) { return all_same(g, kNoNode); };
+  p.warm = &warm_start_matching;
+  p.eta = &eta1_matching;
+  p.degradation_bound = [](int eta, const Graph&) {
+    return 3 * (eta / 2) + 3;
+  };
+  p.check = [](const Graph& g, const RunResult& r) {
+    return check_matching(g, r.outputs);
+  };
+  return p;
+}
+
+EpochProblem epoch_coloring() {
+  EpochProblem p;
+  p.name = "coloring_simple_greedy";
+  p.factory = [] { return coloring_simple_greedy(); };
+  p.scratch = [](const Graph& g) { return all_same(g, 0); };
+  p.warm = &warm_start_coloring;
+  p.eta = &eta1_coloring;
+  p.degradation_bound = [](int eta, const Graph&) { return eta + 2; };
+  p.check = [](const Graph& g, const RunResult& r) {
+    return check_coloring(g, r.outputs, g.max_degree() + 1);
+  };
+  return p;
+}
+
+}  // namespace dgap

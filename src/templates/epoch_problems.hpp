@@ -1,0 +1,28 @@
+// Epoch-harness problem packages for the three node-output problems.
+//
+// Each package plugs a Simple-template assembly into the EpochHarness
+// (sim/epoch.hpp): the template factory, the trivial prediction (what the
+// from-scratch control runs with), the identifier-based warm-start adapter
+// (predict/warm_start.hpp), the η1 error measure, the concrete per-epoch
+// degradation bound from docs/ALGORITHMS.md, and the validity checker.
+// The Simple variants are used because their round complexity is O(η)
+// with explicit constants — exactly the quantity warm-starting improves —
+// so the churn sweep can assert the bound per epoch, not just on average.
+#pragma once
+
+#include "sim/epoch.hpp"
+
+namespace dgap {
+
+/// mis_simple_greedy: rounds ≤ η1 + 3; scratch = all-0 (nobody claims
+/// membership — maximally uninformative, η1 = largest component).
+EpochProblem epoch_mis();
+
+/// matching_simple_greedy: rounds ≤ 3⌊η1/2⌋ + 3; scratch = all-⊥.
+EpochProblem epoch_matching();
+
+/// coloring_simple_greedy: rounds ≤ η1 + 2; scratch = all-0 ("no color",
+/// outside every palette, so every node starts active).
+EpochProblem epoch_coloring();
+
+}  // namespace dgap

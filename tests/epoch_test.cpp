@@ -1,0 +1,351 @@
+// The dynamic-graph serving pipeline end-to-end:
+//   1. Churn property sweep — seeds × churn rates × {MIS, matching,
+//      coloring}: every epoch's warm output is a valid complete solution,
+//      η is finite, and the per-epoch degradation bound holds exactly.
+//   2. Determinism — identical ChurnSpec seeds give byte-identical
+//      per-epoch transcripts across engine threads {1,2,4} and batch
+//      workers {1,2,4}; the committed epoch-sequence golden re-verifies.
+//   3. Result-cache correctness — hits are bit-identical to a forced
+//      recompute (transcript bytes as witness), distinct predictions get
+//      distinct keys, and a mutated cache entry trips the poisoning guard.
+//   4. Identifier stability — node deletion + re-insertion never reuses a
+//      live identifier, and stale warm-start predictions referencing
+//      deleted nodes are dropped, not passed through.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cases.hpp"
+#include "graph/edits.hpp"
+#include "predict/generators.hpp"
+#include "predict/warm_start.hpp"
+#include "sim/epoch.hpp"
+#include "templates/epoch_problems.hpp"
+
+namespace dgap {
+namespace {
+
+EpochProblem problem_by_index(int p) {
+  switch (p) {
+    case 0: return epoch_mis();
+    case 1: return epoch_matching();
+    default: return epoch_coloring();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Churn property sweep
+// ---------------------------------------------------------------------------
+
+struct ChurnCase {
+  int problem;       // 0 = mis, 1 = matching, 2 = coloring
+  std::uint64_t seed;
+  double rate;       // shared by all four churn fractions
+};
+
+std::ostream& operator<<(std::ostream& os, const ChurnCase& c) {
+  static const char* names[] = {"mis", "matching", "coloring"};
+  return os << names[c.problem] << "_s" << c.seed << "_r"
+            << static_cast<int>(c.rate * 100);
+}
+
+class ChurnSweepTest : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(ChurnSweepTest, EveryEpochValidAndWithinDegradationBound) {
+  const ChurnCase& c = GetParam();
+  const EpochProblem problem = problem_by_index(c.problem);
+  EpochConfig config;
+  config.base = GraphSpec::gnp(30, 0.12, c.seed);
+  config.churn.seed = c.seed * 17 + 5;
+  config.churn.edge_remove_frac = c.rate;
+  config.churn.edge_add_frac = c.rate;
+  config.churn.node_remove_frac = c.rate / 2;
+  config.churn.node_add_frac = c.rate / 2;
+  config.epochs = 4;
+
+  // The harness itself checks validity per epoch (DGAP_ASSERT on the
+  // problem's checker), so run() completing is already the validity sweep;
+  // the inequalities below are the paper's per-epoch claims.
+  EpochHarness harness(problem_by_index(c.problem), config);
+  const EpochReport report = harness.run();
+  ASSERT_EQ(report.epochs.size(), static_cast<std::size_t>(config.epochs));
+  Graph g = config.base.build();
+  for (const EpochRecord& e : report.epochs) {
+    if (e.epoch > 0) g = apply_edits(g, config.churn.generate(g, e.epoch));
+    ASSERT_TRUE(e.warm.completed) << "epoch " << e.epoch;
+    ASSERT_TRUE(e.control.completed) << "epoch " << e.epoch;
+    EXPECT_TRUE(problem.check(g, e.warm).empty())
+        << "epoch " << e.epoch << ": " << problem.check(g, e.warm);
+    EXPECT_GE(e.eta, 0) << "epoch " << e.epoch;
+    EXPECT_LE(e.eta, e.nodes) << "epoch " << e.epoch;
+    EXPECT_LE(e.warm.rounds, problem.degradation_bound(e.eta, g))
+        << "epoch " << e.epoch << " (eta " << e.eta << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChurnSweepTest,
+    ::testing::Values(ChurnCase{0, 3, 0.02}, ChurnCase{0, 3, 0.10},
+                      ChurnCase{0, 11, 0.25}, ChurnCase{1, 3, 0.02},
+                      ChurnCase{1, 11, 0.10}, ChurnCase{1, 7, 0.25},
+                      ChurnCase{2, 3, 0.02}, ChurnCase{2, 11, 0.10},
+                      ChurnCase{2, 7, 0.25}),
+    [](const ::testing::TestParamInfo<ChurnCase>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+// ---------------------------------------------------------------------------
+// 2. Determinism across execution axes + the committed golden
+// ---------------------------------------------------------------------------
+
+EpochConfig determinism_config() {
+  EpochConfig config;
+  config.base = GraphSpec::gnp(26, 0.14, 5);
+  config.churn.seed = 77;
+  config.churn.edge_remove_frac = 0.08;
+  config.churn.edge_add_frac = 0.08;
+  config.churn.node_remove_frac = 0.05;
+  config.churn.node_add_frac = 0.05;
+  config.epochs = 4;
+  config.capture_transcripts = true;
+  config.label = "det";
+  return config;
+}
+
+TEST(EpochDeterminism, ByteIdenticalAcrossWorkersAndThreads) {
+  std::vector<std::vector<std::uint8_t>> sequences;
+  std::vector<std::uint64_t> checksums;
+  for (int workers : {1, 2, 4}) {
+    EpochConfig config = determinism_config();
+    config.workers = workers;
+    EpochHarness harness(epoch_mis(), config);
+    const EpochReport report = harness.run();
+    sequences.push_back(epoch_sequence_of("det", report));
+    checksums.push_back(epoch_report_checksum(report));
+  }
+  for (int threads : {1, 2, 4}) {
+    EpochConfig config = determinism_config();
+    config.workers = 0;  // inline path honors num_threads
+    config.options.num_threads = threads;
+    EpochHarness harness(epoch_mis(), config);
+    const EpochReport report = harness.run();
+    sequences.push_back(epoch_sequence_of("det", report));
+    checksums.push_back(epoch_report_checksum(report));
+  }
+  for (std::size_t i = 1; i < sequences.size(); ++i) {
+    EXPECT_EQ(sequences[i], sequences[0]) << "execution axis " << i;
+    EXPECT_EQ(checksums[i], checksums[0]) << "execution axis " << i;
+  }
+}
+
+TEST(EpochGolden, CommittedEpochSequencesVerifyAgainstLiveReruns) {
+  ASSERT_GE(epoch_cases().size(), 1u);
+  for (const EpochCase& c : epoch_cases()) {
+    const std::string path =
+        std::string(DGAP_GOLDEN_DIR) + "/" + golden_file_name(c);
+    const std::vector<std::uint8_t> golden = read_transcript_file(path);
+    ASSERT_TRUE(is_epoch_sequence(golden)) << c.name;
+    EXPECT_EQ(decode_epoch_sequence(golden).label, c.name);
+    EXPECT_NO_THROW(verify_epoch_case(c, golden)) << c.name;
+    EXPECT_EQ(record_epoch_case(c), golden) << c.name;
+  }
+}
+
+TEST(EpochSequenceContainer, RoundTripAndCorruptionGuards) {
+  const std::vector<std::vector<std::uint8_t>> blobs = {
+      {1, 2, 3}, {}, {255, 0, 128, 7}};
+  std::vector<std::uint8_t> bytes = encode_epoch_sequence("roundtrip", blobs);
+  ASSERT_TRUE(is_epoch_sequence(bytes));
+  const EpochSequence seq = decode_epoch_sequence(bytes);
+  EXPECT_EQ(seq.label, "roundtrip");
+  EXPECT_EQ(seq.epochs, blobs);
+
+  // Any flipped byte breaks the trailing checksum.
+  for (std::size_t i : {std::size_t{5}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[i] ^= 0x40;
+    EXPECT_THROW(decode_epoch_sequence(bad), std::invalid_argument) << i;
+  }
+  // Truncation and foreign magic are structural errors, not UB.
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + 9);
+  EXPECT_THROW(decode_epoch_sequence(cut), std::invalid_argument);
+  std::vector<std::uint8_t> foreign = bytes;
+  foreign[0] = 'X';
+  EXPECT_FALSE(is_epoch_sequence(foreign));
+  EXPECT_THROW(decode_epoch_sequence(foreign), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Result-cache correctness
+// ---------------------------------------------------------------------------
+
+TEST(EpochResultCache, SecondRunIsServedEntirelyFromCache) {
+  EpochConfig config = determinism_config();
+  EpochHarness harness(epoch_mis(), config);
+  const EpochReport first = harness.run();
+  const EpochReport second = harness.run();
+  EXPECT_EQ(second.cache_misses, 0);
+  EXPECT_EQ(second.cache_hits,
+            static_cast<std::int64_t>(2 * config.epochs));  // warm + control
+  for (const EpochRecord& e : second.epochs) {
+    EXPECT_TRUE(e.warm_cache_hit) << "epoch " << e.epoch;
+    EXPECT_TRUE(e.control_cache_hit) << "epoch " << e.epoch;
+  }
+  EXPECT_EQ(epoch_report_checksum(first), epoch_report_checksum(second));
+}
+
+TEST(EpochResultCache, HitsAreBitIdenticalToForcedRecompute) {
+  EpochConfig cached = determinism_config();
+  EpochHarness harness(epoch_mis(), cached);
+  harness.run();  // fill
+  const EpochReport hit = harness.run();  // served from cache
+
+  EpochConfig uncached = determinism_config();
+  uncached.use_result_cache = false;
+  EpochHarness fresh(epoch_mis(), uncached);
+  const EpochReport recompute = fresh.run();
+  EXPECT_EQ(recompute.cache_hits, 0);
+  EXPECT_EQ(recompute.cache_misses, 0);
+
+  // Transcript bytes are the strongest witness: every round event equal.
+  EXPECT_EQ(epoch_sequence_of("det", hit), epoch_sequence_of("det", recompute));
+  EXPECT_EQ(epoch_report_checksum(hit), epoch_report_checksum(recompute));
+}
+
+TEST(EpochResultCache, DistinctPredictionsNeverCollide) {
+  const Graph g = GraphSpec::gnp(24, 0.15, 9).build();
+  std::vector<Predictions> preds;
+  preds.push_back(all_same(g, 0));
+  preds.push_back(all_same(g, 1));
+  for (int flip = 0; flip < 8; ++flip) {
+    Rng rng(static_cast<std::uint64_t>(flip) + 1);
+    preds.push_back(flip_bits(all_same(g, 0), flip + 1, rng));
+  }
+  const std::uint64_t instance = graph_digest(g);
+  const std::uint64_t options = options_digest(EngineOptions{});
+  std::set<std::uint64_t> digests;
+  std::set<std::uint64_t> keys;
+  for (const Predictions& p : preds) {
+    digests.insert(predictions_digest(p));
+    keys.insert(result_cache_key(instance, "mis_simple_greedy",
+                                 predictions_digest(p), options, false,
+                                 TraceDetail::kPayloads));
+  }
+  EXPECT_EQ(digests.size(), preds.size());
+  EXPECT_EQ(keys.size(), preds.size());
+}
+
+TEST(EpochResultCache, PoisonedEntryTripsTheGuard) {
+  ResultCache cache;
+  RunResult result;
+  result.rounds = 7;
+  cache.put(42, result, {1, 2, 3});
+  EXPECT_NE(cache.get(42), nullptr);
+  cache.poison_for_test(42);
+  EXPECT_THROW(cache.get(42), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Identifier stability under churn
+// ---------------------------------------------------------------------------
+
+TEST(IdentifierStability, DeletedIdentifiersAreNeverReissued) {
+  Graph g = GraphSpec::gnp(20, 0.2, 13).build();
+  ChurnSpec churn;
+  churn.seed = 99;
+  churn.edge_remove_frac = 0.1;
+  churn.edge_add_frac = 0.1;
+  churn.node_remove_frac = 0.2;
+  churn.node_add_frac = 0.2;
+  std::set<Value> dead;
+  for (int epoch = 1; epoch <= 8; ++epoch) {
+    const EditBatch batch = churn.generate(g, epoch);
+    for (Value id : batch.remove_nodes) dead.insert(id);
+    const std::int64_t old_bound = g.id_bound();
+    g = apply_edits(g, batch);
+    EXPECT_GE(g.id_bound(), old_bound) << "epoch " << epoch;  // monotone
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dead.count(g.id(v)), 0u)
+          << "identifier " << g.id(v) << " resurrected at epoch " << epoch;
+    }
+  }
+  EXPECT_FALSE(dead.empty()) << "sweep never deleted a node";
+}
+
+TEST(IdentifierStability, ReinsertionAfterDeletionGetsAFreshIdentifier) {
+  const Graph g = GraphSpec::line(5).build();
+  const Value victim = g.id(2);
+  EditBatch remove;
+  remove.remove_nodes.push_back(victim);
+  const Graph smaller = apply_edits(g, remove);
+  EditBatch insert;
+  insert.add_nodes = 3;
+  const Graph bigger = apply_edits(smaller, insert);
+  for (NodeId v = 0; v < bigger.num_nodes(); ++v) {
+    EXPECT_NE(bigger.id(v), victim);
+  }
+  // The fresh identifiers sit strictly above the pre-deletion bound.
+  EXPECT_EQ(bigger.id_bound(), g.id_bound() + 3);
+}
+
+TEST(IdentifierStability, StaleWarmStartPredictionsAreDropped) {
+  const Graph prev = GraphSpec::line(4).build();
+  // Nodes 0-1 matched with each other, node 2 matched with node 3.
+  std::vector<Value> outputs(4);
+  outputs[0] = prev.id(1);
+  outputs[1] = prev.id(0);
+  outputs[2] = prev.id(3);
+  outputs[3] = prev.id(2);
+  EditBatch batch;
+  batch.remove_nodes.push_back(prev.id(3));
+  const Graph next = apply_edits(prev, batch);
+
+  const Predictions warm = warm_start_matching(prev, outputs, next);
+  ASSERT_EQ(warm.node_values().size(), static_cast<std::size_t>(3));
+  // Survivors keep partners that survived; the partner of the deleted
+  // node is dropped to ⊥, never passed through as a dangling identifier.
+  EXPECT_EQ(warm.node_values()[0], prev.id(1));
+  EXPECT_EQ(warm.node_values()[1], prev.id(0));
+  EXPECT_EQ(warm.node_values()[2], kNoNode);
+}
+
+TEST(IdentifierStability, OutOfEncodingOutputsBecomeNeutralPredictions) {
+  const Graph prev = GraphSpec::line(3).build();
+  const std::vector<Value> garbage = {kUndefined, -999, 17};
+  const Predictions mis = warm_start_mis(prev, garbage, prev);
+  EXPECT_EQ(mis.node_values(), (std::vector<Value>{0, 0, 0}));
+  const Predictions matching = warm_start_matching(prev, garbage, prev);
+  EXPECT_EQ(matching.node_values()[0], kNoNode);
+  EXPECT_EQ(matching.node_values()[1], kNoNode);
+  const Predictions coloring = warm_start_coloring(prev, garbage, prev);
+  EXPECT_EQ(coloring.node_values()[0], 0);
+  EXPECT_EQ(coloring.node_values()[1], 0);
+  EXPECT_EQ(coloring.node_values()[2], 17);  // positive color passes through
+}
+
+TEST(ApplyEdits, EditBatchesAreContractsNotHints) {
+  const Graph g = GraphSpec::line(4).build();
+  EditBatch unknown_node;
+  unknown_node.remove_nodes.push_back(g.id_bound() + 100);
+  EXPECT_THROW(apply_edits(g, unknown_node), std::invalid_argument);
+
+  EditBatch missing_edge;
+  missing_edge.remove_edges.emplace_back(g.id(0), g.id(3));  // not adjacent
+  EXPECT_THROW(apply_edits(g, missing_edge), std::invalid_argument);
+
+  EditBatch duplicate_edge;
+  duplicate_edge.add_edges.emplace_back(g.id(0), g.id(1));  // already there
+  EXPECT_THROW(apply_edits(g, duplicate_edge), std::invalid_argument);
+
+  EditBatch self_loop;
+  self_loop.add_edges.emplace_back(g.id(0), g.id(0));
+  EXPECT_THROW(apply_edits(g, self_loop), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgap

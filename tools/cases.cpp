@@ -1,7 +1,10 @@
 #include "cases.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "templates/epoch_problems.hpp"
 #include "mis/congest_global.hpp"
 #include "predict/generators.hpp"
 #include "random/luby.hpp"
@@ -92,5 +95,85 @@ RunResult verify_canonical_case(const CanonicalCase& c,
 std::string golden_file_name(const CanonicalCase& c) {
   return c.name + ".dgaptr";
 }
+
+// ---- Epoch-sequence cases ---------------------------------------------------
+
+const std::vector<EpochCase>& epoch_cases() {
+  static const std::vector<EpochCase> cases = [] {
+    std::vector<EpochCase> out;
+
+    // 4. The serving pipeline end-to-end: MIS warm-started across five
+    // epochs of mixed node/edge churn on a sparse G(n, p). Pins the churn
+    // generator, apply_edits, the warm-start adapter, and every epoch's
+    // full round-by-round behavior in one artifact.
+    {
+      EpochCase c;
+      c.name = "epochs_mis_gnp48";
+      c.description =
+          "MIS (simple greedy) over 5 churn epochs of gnp(48, p=0.08, "
+          "seed 11)";
+      c.problem = &epoch_mis;
+      c.config.base = GraphSpec::gnp(48, 0.08, 11);
+      c.config.churn.seed = 301;
+      c.config.churn.edge_remove_frac = 0.06;
+      c.config.churn.edge_add_frac = 0.06;
+      c.config.churn.node_remove_frac = 0.04;
+      c.config.churn.node_add_frac = 0.04;
+      c.config.epochs = 5;
+      out.push_back(std::move(c));
+    }
+
+    return out;
+  }();
+  return cases;
+}
+
+const EpochCase* find_epoch_case(const std::string& name) {
+  for (const EpochCase& c : epoch_cases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> record_epoch_case(const EpochCase& c) {
+  EpochConfig config = c.config;
+  config.label = c.name;
+  config.capture_transcripts = true;
+  config.detail = TraceDetail::kPayloads;
+  EpochHarness harness(c.problem(), config);
+  return epoch_sequence_of(c.name, harness.run());
+}
+
+void verify_epoch_case(const EpochCase& c,
+                       std::span<const std::uint8_t> golden) {
+  const EpochSequence want = decode_epoch_sequence(golden);
+  DGAP_REQUIRE(want.label == c.name, "epoch sequence '" + want.label +
+                                         "' is not case '" + c.name + "'");
+  const std::vector<std::uint8_t> bytes = record_epoch_case(c);
+  if (bytes.size() == golden.size() &&
+      std::equal(bytes.begin(), bytes.end(), golden.begin())) {
+    return;
+  }
+  // Diverged: decode both and name the first differing epoch and round.
+  const EpochSequence got = decode_epoch_sequence(bytes);
+  const std::size_t common = std::min(want.epochs.size(), got.epochs.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    if (want.epochs[k] == got.epochs[k]) continue;
+    const Transcript a = decode_transcript(want.epochs[k]);
+    const Transcript b = decode_transcript(got.epochs[k]);
+    if (const auto d = diff_transcripts(a, b)) {
+      DGAP_ASSERT(false, "epoch " + std::to_string(k) +
+                             " diverges at round " + std::to_string(d->round) +
+                             ": " + d->field);
+    }
+    DGAP_ASSERT(false, "epoch " + std::to_string(k) +
+                           " transcripts differ only in encoding");
+  }
+  DGAP_ASSERT(false, "epoch count differs: golden " +
+                         std::to_string(want.epochs.size()) + ", live " +
+                         std::to_string(got.epochs.size()));
+}
+
+std::string golden_file_name(const EpochCase& c) { return c.name + ".dgaptr"; }
 
 }  // namespace dgap

@@ -11,10 +11,13 @@
 // (CONGEST global MIS), and a composed prediction template cut mid-run.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "sim/epoch.hpp"
 #include "sim/transcript.hpp"
 
 namespace dgap {
@@ -46,5 +49,36 @@ RunResult verify_canonical_case(const CanonicalCase& c,
 
 /// Golden file name for a case: "<name>.dgaptr".
 std::string golden_file_name(const CanonicalCase& c);
+
+// ---- Epoch-sequence cases ---------------------------------------------------
+//
+// A second registry for whole epoch STREAMS (sim/epoch.hpp): one case is
+// an EpochProblem package plus an EpochConfig, and its golden artifact is
+// the "DGEP" container of every epoch's warm-run transcript. The goldens
+// live next to the single-run ones under tests/golden/ (same .dgaptr
+// extension — tools sniff the magic), so the CI gate covers the churn +
+// warm-start pipeline with the same re-execute-and-compare discipline.
+
+struct EpochCase {
+  std::string name;         // container label and golden file stem
+  std::string description;  // one line for `dgap_trace list`
+  std::function<EpochProblem()> problem;
+  /// label is overwritten with `name`; transcripts are always captured at
+  /// kPayloads when recording or verifying.
+  EpochConfig config;
+};
+
+const std::vector<EpochCase>& epoch_cases();
+const EpochCase* find_epoch_case(const std::string& name);
+
+/// Re-execute the whole stream; returns the framed "DGEP" bytes.
+std::vector<std::uint8_t> record_epoch_case(const EpochCase& c);
+
+/// Re-execute the stream and compare byte-for-byte against `golden`;
+/// throws (DGAP_ASSERT) naming the first divergent epoch and round.
+void verify_epoch_case(const EpochCase& c,
+                       std::span<const std::uint8_t> golden);
+
+std::string golden_file_name(const EpochCase& c);
 
 }  // namespace dgap

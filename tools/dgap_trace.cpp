@@ -17,6 +17,7 @@
 // Transcripts are self-describing (GraphSpec + options in the header), so
 // verify needs only the file and the case registry in tools/cases.cpp.
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -52,21 +53,27 @@ int cmd_list() {
     std::printf("%-22s %-26s %s\n", c.name.c_str(),
                 golden_file_name(c).c_str(), c.description.c_str());
   }
+  for (const EpochCase& c : epoch_cases()) {
+    std::printf("%-22s %-26s %s\n", c.name.c_str(),
+                golden_file_name(c).c_str(), c.description.c_str());
+  }
   return 0;
 }
 
 int cmd_record(const std::string& which, const std::string& dir) {
   std::vector<const CanonicalCase*> selected;
+  std::vector<const EpochCase*> selected_epochs;
   if (which == "all") {
     for (const CanonicalCase& c : canonical_cases()) selected.push_back(&c);
-  } else {
-    const CanonicalCase* c = find_canonical_case(which);
-    if (c == nullptr) {
-      std::fprintf(stderr, "dgap_trace: unknown case '%s' (try: list)\n",
-                   which.c_str());
-      return 2;
-    }
+    for (const EpochCase& c : epoch_cases()) selected_epochs.push_back(&c);
+  } else if (const CanonicalCase* c = find_canonical_case(which)) {
     selected.push_back(c);
+  } else if (const EpochCase* e = find_epoch_case(which)) {
+    selected_epochs.push_back(e);
+  } else {
+    std::fprintf(stderr, "dgap_trace: unknown case '%s' (try: list)\n",
+                 which.c_str());
+    return 2;
   }
   for (const CanonicalCase* c : selected) {
     const RecordedRun run = record_canonical_case(*c);
@@ -76,6 +83,14 @@ int cmd_record(const std::string& which, const std::string& dir) {
                 c->name.c_str(), path.c_str(), run.transcript.size(),
                 run.result.rounds, run.result.completed ? "" : ", cut");
   }
+  for (const EpochCase* c : selected_epochs) {
+    const std::vector<std::uint8_t> bytes = record_epoch_case(*c);
+    const std::string path = dir + "/" + golden_file_name(*c);
+    write_transcript_file(path, bytes);
+    std::printf("recorded %-22s -> %s (%zu bytes, %d epochs)\n",
+                c->name.c_str(), path.c_str(), bytes.size(),
+                c->config.epochs);
+  }
   return 0;
 }
 
@@ -83,7 +98,24 @@ int cmd_verify(const std::vector<std::string>& files) {
   int failures = 0;
   for (const std::string& path : files) {
     try {
-      const Transcript golden = decode_transcript(read_transcript_file(path));
+      const std::vector<std::uint8_t> bytes = read_transcript_file(path);
+      if (is_epoch_sequence(bytes)) {
+        const EpochSequence seq = decode_epoch_sequence(bytes);
+        const EpochCase* c = find_epoch_case(seq.label);
+        if (c == nullptr) {
+          std::fprintf(stderr,
+                       "FAIL %s: epoch sequence label '%s' is not an epoch "
+                       "case\n",
+                       path.c_str(), seq.label.c_str());
+          ++failures;
+          continue;
+        }
+        verify_epoch_case(*c, bytes);
+        std::printf("OK   %s: %s, %zu epochs\n", path.c_str(),
+                    c->name.c_str(), seq.epochs.size());
+        continue;
+      }
+      const Transcript golden = decode_transcript(bytes);
       const CanonicalCase* c = find_canonical_case(golden.label);
       if (c == nullptr) {
         std::fprintf(stderr,
@@ -106,8 +138,39 @@ int cmd_verify(const std::vector<std::string>& files) {
 }
 
 int cmd_diff(const std::string& a_path, const std::string& b_path) {
-  const Transcript a = decode_transcript(read_transcript_file(a_path));
-  const Transcript b = decode_transcript(read_transcript_file(b_path));
+  const std::vector<std::uint8_t> a_bytes = read_transcript_file(a_path);
+  const std::vector<std::uint8_t> b_bytes = read_transcript_file(b_path);
+  if (is_epoch_sequence(a_bytes) || is_epoch_sequence(b_bytes)) {
+    if (!is_epoch_sequence(a_bytes) || !is_epoch_sequence(b_bytes)) {
+      std::printf("one file is an epoch sequence, the other a transcript\n");
+      return 1;
+    }
+    const EpochSequence a = decode_epoch_sequence(a_bytes);
+    const EpochSequence b = decode_epoch_sequence(b_bytes);
+    const std::size_t common = std::min(a.epochs.size(), b.epochs.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      if (a.epochs[k] == b.epochs[k]) continue;
+      const Transcript ta = decode_transcript(a.epochs[k]);
+      const Transcript tb = decode_transcript(b.epochs[k]);
+      if (const auto d = diff_transcripts(ta, tb)) {
+        std::printf("epoch %zu diverges at round %d: %s\n", k, d->round,
+                    d->field.c_str());
+        return 1;
+      }
+      std::printf("epoch %zu transcripts differ only in encoding\n", k);
+      return 1;
+    }
+    if (a.epochs.size() != b.epochs.size()) {
+      std::printf("epoch counts differ: %zu vs %zu\n", a.epochs.size(),
+                  b.epochs.size());
+      return 1;
+    }
+    std::printf("epoch sequences are identical (%zu epochs)\n",
+                a.epochs.size());
+    return 0;
+  }
+  const Transcript a = decode_transcript(a_bytes);
+  const Transcript b = decode_transcript(b_bytes);
   if (const auto d = diff_transcripts(a, b)) {
     std::printf("transcripts diverge at round %d: %s\n", d->round,
                 d->field.c_str());
@@ -119,7 +182,23 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
 
 int cmd_stats(const std::vector<std::string>& files) {
   for (const std::string& path : files) {
-    const Transcript t = decode_transcript(read_transcript_file(path));
+    const std::vector<std::uint8_t> bytes = read_transcript_file(path);
+    if (is_epoch_sequence(bytes)) {
+      const EpochSequence seq = decode_epoch_sequence(bytes);
+      std::printf("%s\n", path.c_str());
+      std::printf("  label        %s\n", seq.label.c_str());
+      std::printf("  epochs       %zu\n", seq.epochs.size());
+      for (std::size_t k = 0; k < seq.epochs.size(); ++k) {
+        const Transcript t = decode_transcript(seq.epochs[k]);
+        std::printf("  epoch %-4zu  %s: n %-5lld %d rounds, %lld messages%s\n",
+                    k, t.label.c_str(), static_cast<long long>(t.n),
+                    t.summary.rounds,
+                    static_cast<long long>(t.summary.total_messages),
+                    t.summary.completed ? "" : " (cut)");
+      }
+      continue;
+    }
+    const Transcript t = decode_transcript(bytes);
     std::printf("%s\n", path.c_str());
     std::printf("  label        %s\n", t.label.c_str());
     std::printf("  detail       %s\n", detail_name(t.detail));
