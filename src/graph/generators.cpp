@@ -1,12 +1,29 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <unordered_set>
 
 #include "common/require.hpp"
 
 namespace dgap {
+
+namespace {
+
+/// Derived node counts are computed in 64 bits and bounds-checked before
+/// the narrowing: at n = 10^7-scale parameters, products like w*h or
+/// spine*(legs+1) overflow 32-bit NodeId arithmetic silently otherwise
+/// (pinned by tests/graph_test.cpp, DerivedNodeCountsOverflowCleanly).
+NodeId checked_node_count(std::int64_t n, const char* what) {
+  DGAP_REQUIRE(n <= std::numeric_limits<NodeId>::max(),
+               std::string(what) + ": node count overflows NodeId");
+  return static_cast<NodeId>(n);
+}
+
+}  // namespace
 
 Graph make_line(NodeId n) {
   Graph g(n);
@@ -38,7 +55,7 @@ Graph make_star(NodeId n) {
 
 Graph make_wheel_fk(NodeId k) {
   DGAP_REQUIRE(k >= 3, "F_k needs at least 3 rim nodes");
-  Graph g(2 * k + 1);
+  Graph g(checked_node_count(2 * static_cast<std::int64_t>(k) + 1, "F_k"));
   const NodeId hub = 0;
   for (NodeId i = 0; i < k; ++i) {
     const NodeId mid = 1 + i;
@@ -56,7 +73,8 @@ Graph make_wheel_fk(NodeId k) {
 
 Graph make_grid(NodeId w, NodeId h) {
   DGAP_REQUIRE(w >= 1 && h >= 1, "grid dimensions must be positive");
-  Graph g(w * h);
+  Graph g(checked_node_count(
+      static_cast<std::int64_t>(w) * static_cast<std::int64_t>(h), "grid"));
   for (NodeId y = 0; y < h; ++y) {
     for (NodeId x = 0; x < w; ++x) {
       if (x + 1 < w) g.add_edge(grid_index(w, x, y), grid_index(w, x + 1, y));
@@ -80,7 +98,9 @@ Graph make_hypercube(int dims) {
 }
 
 Graph make_complete_bipartite(NodeId a, NodeId b) {
-  Graph g(a + b);
+  Graph g(checked_node_count(
+      static_cast<std::int64_t>(a) + static_cast<std::int64_t>(b),
+      "complete bipartite"));
   for (NodeId u = 0; u < a; ++u) {
     for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
   }
@@ -94,6 +114,58 @@ Graph make_gnp(NodeId n, double p, Rng& rng) {
     for (NodeId v = u + 1; v < n; ++v) {
       if (rng.flip(p)) g.add_edge(u, v);
     }
+  }
+  return g;
+}
+
+Graph make_gnp_sparse(NodeId n, double p, Rng& rng) {
+  DGAP_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  if (n < 2 || p <= 0.0) return g;
+  // Batagelj–Brandes geometric skipping: enumerate the pairs (v, w),
+  // w < v, in lexicographic order and jump ahead by a Geometric(p) gap per
+  // present edge. One rng draw per edge (plus the final overshoot), so
+  // generation is O(n + m) expected instead of O(n^2). For p = 1 the log
+  // ratio is finite/−inf = 0 and every pair is emitted.
+  const double denom = std::log1p(-p);  // log(1-p) < 0
+  NodeId v = 1;
+  std::int64_t w = -1;  // 64-bit: a single skip can overshoot past v
+  while (v < n) {
+    const double r = rng.uniform01();  // in [0, 1): log1p(-r) is finite
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / denom));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n) g.add_edge(v, static_cast<NodeId>(w));
+  }
+  return g;
+}
+
+Graph make_gnm(NodeId n, std::int64_t m, Rng& rng) {
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  DGAP_REQUIRE(m >= 0 && m <= pairs, "edge count out of range");
+  Graph g(n);
+  // Rejection sampling over the pair space, deduplicated by a packed key.
+  // Expected draws m / (1 - m/pairs): O(m) while m is well below pairs/2
+  // (the sparse regime this generator exists for).
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  std::int64_t added = 0;
+  while (added < m) {
+    const NodeId u = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const NodeId v = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const NodeId lo = std::min(u, v), hi = std::max(u, v);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(lo) * static_cast<std::uint64_t>(n) +
+        static_cast<std::uint64_t>(hi);
+    if (!chosen.insert(key).second) continue;
+    g.add_edge(lo, hi);
+    ++added;
   }
   return g;
 }
@@ -205,7 +277,9 @@ RootedTree make_rooted_kary_tree(int arity, int levels) {
 
 Graph make_caterpillar(NodeId spine, NodeId legs) {
   DGAP_REQUIRE(spine >= 1 && legs >= 0, "bad caterpillar parameters");
-  Graph g(spine + spine * legs);
+  Graph g(checked_node_count(
+      static_cast<std::int64_t>(spine) * (static_cast<std::int64_t>(legs) + 1),
+      "caterpillar"));
   for (NodeId s = 0; s + 1 < spine; ++s) g.add_edge(s, s + 1);
   for (NodeId s = 0; s < spine; ++s) {
     for (NodeId l = 0; l < legs; ++l) g.add_edge(s, spine + s * legs + l);

@@ -56,6 +56,19 @@ Graph make_complete_bipartite(NodeId a, NodeId b);
 /// Erdős–Rényi G(n, p).
 Graph make_gnp(NodeId n, double p, Rng& rng);
 
+/// Erdős–Rényi G(n, p) in O(n + m) expected time via geometric edge
+/// skipping (Batagelj–Brandes): instead of flipping all n(n-1)/2 coins,
+/// jump straight to the next present edge with a geometric draw. The
+/// distribution matches make_gnp but the *instances differ* for equal
+/// seeds (the rng is consumed differently) — a new family, not a drop-in.
+/// Use for sparse p where make_gnp's quadratic scan is the bottleneck
+/// (p ~ c/n at n >= 10^5).
+Graph make_gnp_sparse(NodeId n, double p, Rng& rng);
+
+/// Uniform random graph G(n, m): exactly m distinct edges, rejection-
+/// sampled. O(m) expected while m stays well below n(n-1)/4.
+Graph make_gnm(NodeId n, std::int64_t m, Rng& rng);
+
 /// Uniform random tree on n nodes (random Prüfer sequence).
 Graph make_random_tree(NodeId n, Rng& rng);
 

@@ -36,6 +36,12 @@ Graph GraphSpec::build() const {
     case Family::kCaterpillar:
       g = make_caterpillar(static_cast<NodeId>(a), static_cast<NodeId>(b));
       break;
+    case Family::kGnpSparse:
+      g = make_gnp_sparse(static_cast<NodeId>(a), p, rng);
+      break;
+    case Family::kGnm:
+      g = make_gnm(static_cast<NodeId>(a), b, rng);
+      break;
   }
   switch (ids) {
     case IdPolicy::kDefault:
@@ -71,6 +77,17 @@ std::string GraphSpec::name() const {
     case Family::kRandomTree: out = "rtree_" + std::to_string(a); break;
     case Family::kCaterpillar:
       out = "caterpillar_" + std::to_string(a) + "x" + std::to_string(b);
+      break;
+    case Family::kGnpSparse: {
+      // %g keeps sparse probabilities (p ~ c/n at n = 10^6) legible where
+      // the fixed %.3f of kGnp would print p0.000.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "p%g", p);
+      out = "gnps_" + std::to_string(a) + "_" + buf;
+      break;
+    }
+    case Family::kGnm:
+      out = "gnm_" + std::to_string(a) + "_m" + std::to_string(b);
       break;
   }
   if (seed != 0) out += "_s" + std::to_string(seed);
@@ -112,6 +129,14 @@ GraphSpec GraphSpec::grid(std::int64_t w, std::int64_t h, IdPolicy ids,
 GraphSpec GraphSpec::gnp(std::int64_t n, double p, std::uint64_t seed,
                          IdPolicy ids) {
   return spec_of(Family::kGnp, n, 0, p, seed, ids);
+}
+GraphSpec GraphSpec::gnp_sparse(std::int64_t n, double p, std::uint64_t seed,
+                                IdPolicy ids) {
+  return spec_of(Family::kGnpSparse, n, 0, p, seed, ids);
+}
+GraphSpec GraphSpec::gnm(std::int64_t n, std::int64_t m, std::uint64_t seed,
+                         IdPolicy ids) {
+  return spec_of(Family::kGnm, n, m, 0, seed, ids);
 }
 GraphSpec GraphSpec::random_tree(std::int64_t n, std::uint64_t seed,
                                  IdPolicy ids) {

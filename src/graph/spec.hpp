@@ -30,6 +30,10 @@ struct GraphSpec {
     kGnp,
     kRandomTree,
     kCaterpillar,
+    // Appended (transcript headers encode the family ordinal; reordering
+    // the existing entries would silently re-interpret committed goldens).
+    kGnpSparse,  // make_gnp_sparse: O(m) geometric skipping
+    kGnm,        // make_gnm: exactly b edges
   };
 
   /// How identifiers are assigned after construction. kDefault keeps the
@@ -66,6 +70,10 @@ struct GraphSpec {
                         IdPolicy ids = IdPolicy::kDefault,
                         std::uint64_t seed = 0);
   static GraphSpec gnp(std::int64_t n, double p, std::uint64_t seed,
+                       IdPolicy ids = IdPolicy::kDefault);
+  static GraphSpec gnp_sparse(std::int64_t n, double p, std::uint64_t seed,
+                              IdPolicy ids = IdPolicy::kDefault);
+  static GraphSpec gnm(std::int64_t n, std::int64_t m, std::uint64_t seed,
                        IdPolicy ids = IdPolicy::kDefault);
   static GraphSpec random_tree(std::int64_t n, std::uint64_t seed,
                                IdPolicy ids = IdPolicy::kDefault);

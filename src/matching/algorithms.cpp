@@ -190,7 +190,8 @@ PhaseProgram::Status GreedyMatchingPhase::on_receive(NodeContext& ctx,
       }
       // Freshly matched neighbors announced themselves this round; if no
       // other neighbor remains, this node can close out with ⊥ now.
-      std::vector<NodeId> remaining = ctx.active_neighbors();
+      const auto live = ctx.active_neighbors();
+      std::vector<NodeId> remaining(live.begin(), live.end());
       for (const Message* m : ch.inbox()) {
         if (m->words.at(0) != kMsgMatched) continue;
         auto it = std::find(remaining.begin(), remaining.end(), m->from);

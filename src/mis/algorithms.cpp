@@ -114,26 +114,32 @@ void GreedyMisPhase::on_send(NodeContext&, Channel&) {
 }
 
 PhaseProgram::Status GreedyMisPhase::on_receive(NodeContext& ctx, Channel&) {
-  ++step_;
-  if (step_ % 2 == 1) {
-    // Odd round: local maxima join the independent set. The extendable-
+  if (first_round_ < 0) first_round_ = ctx.round();
+  if ((ctx.round() - first_round_) % 2 == 0) {
+    // Select round: local maxima join the independent set. The extendable-
     // partial invariant guarantees no active node has an output-1 neighbor
     // here; composition must preserve it (clean-up runs beforehand).
     DGAP_ASSERT(!sees_mis_neighbor(ctx),
                 "greedy MIS invariant: covered nodes must be cleaned up "
-                "before an odd round");
+                "before a select round");
     if (is_local_max(ctx)) {
       ctx.set_output(1);
       ctx.terminate();
+      return Status::kRunning;
     }
   } else {
-    // Even round: neighbors of fresh winners leave with output 0.
+    // Remove round: neighbors of fresh winners leave with output 0.
     if (sees_mis_neighbor(ctx)) {
       ctx.set_output(0);
       ctx.terminate();
+      return Status::kRunning;
     }
   }
-  return Status::kRunning;  // finishes only by terminating the node
+  // No decision is possible until a neighbor terminates: a node joins when
+  // its higher-identifier neighbors are gone and leaves when a neighbor
+  // wins, and both are changes the engine wakes it for. Finishes only by
+  // terminating the node.
+  return Status::kIdle;
 }
 
 // ---------------------------------------------------------------------------

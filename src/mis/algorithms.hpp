@@ -57,7 +57,13 @@ class GreedyMisPhase final : public PhaseProgram {
   Status on_receive(NodeContext& ctx, Channel& ch) override;
 
  private:
-  int step_ = 0;  // local round counter; odd = select, even = remove
+  // Parity anchor: the engine round of the first call. Rounds at the
+  // anchor's parity select (local maxima join), the others remove (covered
+  // nodes leave). Keyed to the global round rather than a call counter so
+  // the phase can idle between events — skipped calls cannot drift the
+  // schedule, and under composition (called every round from a lockstep
+  // start) the behavior is identical to a call counter.
+  int first_round_ = -1;
 };
 
 class MisCleanupPhase final : public PhaseProgram {

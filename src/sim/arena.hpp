@@ -17,9 +17,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "common/require.hpp"
 #include "common/types.hpp"
 
 namespace dgap {
@@ -60,6 +62,12 @@ class MessageArena {
  public:
   /// Copies `count` words in; returns the offset of the first word.
   std::uint32_t append(const Value* words, std::size_t count) {
+    // Offsets are 32-bit; past 2^32 words (32 GiB of payload in one
+    // shard-round) the cast below would silently wrap and alias earlier
+    // messages. Million-node runs stay far under this, but fail loudly.
+    DGAP_ASSERT(words_.size() + count <=
+                    std::numeric_limits<std::uint32_t>::max(),
+                "round arena exceeds the 32-bit offset space");
     const auto offset = static_cast<std::uint32_t>(words_.size());
     words_.insert(words_.end(), words, words + count);
     return offset;

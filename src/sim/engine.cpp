@@ -15,29 +15,6 @@ namespace dgap {
 // NodeContext — thin accessor layer over Engine state.
 // ---------------------------------------------------------------------------
 
-namespace {
-Value lookup_edge_output(const std::vector<std::pair<NodeId, Value>>& table,
-                         NodeId key) {
-  auto it = std::lower_bound(
-      table.begin(), table.end(), key,
-      [](const std::pair<NodeId, Value>& e, NodeId k) { return e.first < k; });
-  if (it != table.end() && it->first == key) return it->second;
-  return kUndefined;
-}
-
-void store_edge_output(std::vector<std::pair<NodeId, Value>>& table, NodeId key,
-                       Value v) {
-  auto it = std::lower_bound(
-      table.begin(), table.end(), key,
-      [](const std::pair<NodeId, Value>& e, NodeId k) { return e.first < k; });
-  if (it != table.end() && it->first == key) {
-    it->second = v;
-  } else {
-    table.insert(it, {key, v});
-  }
-}
-}  // namespace
-
 Value NodeContext::id() const { return engine_->graph_.id(index_); }
 NodeId NodeContext::n() const { return engine_->graph_.num_nodes(); }
 std::int64_t NodeContext::d() const { return engine_->graph_.id_bound(); }
@@ -53,12 +30,13 @@ Value NodeContext::neighbor_id(NodeId u) const {
   return engine_->graph_.id(u);
 }
 
-const std::vector<NodeId>& NodeContext::active_neighbors() const {
-  return engine_->nodes_[index_].active_neighbors;
+std::span<const NodeId> NodeContext::active_neighbors() const {
+  const EngineScratch& s = engine_->s_;
+  return {s.an_pool.data() + s.an_begin[index_], s.an_count[index_]};
 }
 
 bool NodeContext::neighbor_active(NodeId u) const {
-  const auto& an = active_neighbors();
+  const auto an = active_neighbors();
   return std::binary_search(an.begin(), an.end(), u);
 }
 
@@ -67,13 +45,13 @@ Value NodeContext::neighbor_output(NodeId u) const {
   if (engine_->s_.node_active[u]) {
     return kUndefined;  // outputs become visible on termination
   }
-  return engine_->nodes_[u].output;
+  return engine_->s_.node_output[u];
 }
 
 Value NodeContext::neighbor_output_for(NodeId u, NodeId key) const {
   DGAP_REQUIRE(engine_->graph_.has_edge(index_, u), "not a neighbor");
   if (engine_->s_.node_active[u]) return kUndefined;
-  return lookup_edge_output(engine_->nodes_[u].edge_outputs, key);
+  return engine_->edge_output_lookup(u, key);
 }
 
 Value NodeContext::prediction() const {
@@ -92,9 +70,19 @@ void NodeContext::send(NodeId to, const Value* words, std::size_t count,
   auto& sh = *shard_;
   if (channel < sh.last_channel) sh.channels_monotone = false;
   sh.last_channel = channel;
-  const std::uint32_t offset = sh.arena.append(words, count);
-  sh.sends.push_back({to, index_, channel, offset,
-                      static_cast<std::uint32_t>(count), nullptr});
+  detail::SendRecord r;
+  r.to = to;
+  r.from = index_;
+  r.channel = channel;
+  r.len = static_cast<std::uint32_t>(count);
+  r.offset = 0;
+  r.words = nullptr;
+  if (count <= detail::SendRecord::kInlineCap) {
+    for (std::size_t i = 0; i < count; ++i) r.inline_words[i] = words[i];
+  } else {
+    r.offset = sh.arena.append(words, count);
+  }
+  sh.sends.push_back(r);
 }
 
 void NodeContext::send(NodeId to, const std::vector<Value>& words,
@@ -110,16 +98,26 @@ void NodeContext::send(NodeId to, std::initializer_list<Value> words,
 void NodeContext::broadcast(const Value* words, std::size_t count,
                             int channel) {
   DGAP_REQUIRE(engine_->in_send_phase_, "broadcast() is only valid in onSend");
-  const auto& an = active_neighbors();
+  const auto an = active_neighbors();
   if (an.empty()) return;
   auto& sh = *shard_;
   if (channel < sh.last_channel) sh.channels_monotone = false;
   sh.last_channel = channel;
-  // One arena copy of the payload, shared by every per-neighbor record.
-  const std::uint32_t offset = sh.arena.append(words, count);
-  const auto len = static_cast<std::uint32_t>(count);
+  detail::SendRecord r;
+  r.from = index_;
+  r.channel = channel;
+  r.len = static_cast<std::uint32_t>(count);
+  r.offset = 0;
+  r.words = nullptr;
+  if (count <= detail::SendRecord::kInlineCap) {
+    for (std::size_t i = 0; i < count; ++i) r.inline_words[i] = words[i];
+  } else {
+    // One arena copy of the payload, shared by every per-neighbor record.
+    r.offset = sh.arena.append(words, count);
+  }
   for (NodeId u : an) {
-    sh.sends.push_back({u, index_, channel, offset, len, nullptr});
+    r.to = u;
+    sh.sends.push_back(r);
   }
 }
 
@@ -139,27 +137,28 @@ std::span<const Message> NodeContext::inbox() const {
 
 void NodeContext::set_output(Value v) {
   DGAP_REQUIRE(v != kUndefined, "kUndefined is reserved");
-  engine_->nodes_[index_].output = v;
+  engine_->s_.node_output[index_] = v;
 }
 
 void NodeContext::set_output_for(NodeId key, Value v) {
   DGAP_REQUIRE(v != kUndefined, "kUndefined is reserved");
-  store_edge_output(engine_->nodes_[index_].edge_outputs, key, v);
+  engine_->edge_output_store(index_, key, v);
 }
 
 bool NodeContext::has_output() const {
-  return engine_->nodes_[index_].output != kUndefined;
+  return engine_->s_.node_output[index_] != kUndefined;
 }
 
 bool NodeContext::has_output_for(NodeId key) const {
-  return lookup_edge_output(engine_->nodes_[index_].edge_outputs, key) !=
-         kUndefined;
+  return engine_->edge_output_lookup(index_, key) != kUndefined;
 }
 
-Value NodeContext::output() const { return engine_->nodes_[index_].output; }
+Value NodeContext::output() const {
+  return engine_->s_.node_output[index_];
+}
 
 Value NodeContext::output_for(NodeId key) const {
-  return lookup_edge_output(engine_->nodes_[index_].edge_outputs, key);
+  return engine_->edge_output_lookup(index_, key);
 }
 
 std::int64_t NodeContext::link_backlog(NodeId u) const {
@@ -174,14 +173,75 @@ int NodeContext::link_budget() const {
 }
 
 void NodeContext::terminate() {
-  auto& st = engine_->nodes_[index_];
-  DGAP_REQUIRE(st.output != kUndefined || !st.edge_outputs.empty(),
+  DGAP_REQUIRE(engine_->s_.node_output[index_] != kUndefined ||
+                   engine_->edge_output_count(index_) > 0,
                "a node terminates only after assigning its outputs");
   engine_->s_.terminate_flag[index_] = 1;
 }
 
 bool NodeContext::terminated() const {
   return engine_->s_.terminate_flag[index_] != 0;
+}
+
+void NodeContext::idle() {
+  DGAP_REQUIRE(!engine_->in_send_phase_, "idle() is only valid in onReceive");
+  engine_->s_.idle_request[index_] = 1;
+  if (shard_ != nullptr) shard_->any_idle = true;
+}
+
+// ---------------------------------------------------------------------------
+// Engine — struct-of-arrays edge outputs.
+// ---------------------------------------------------------------------------
+
+std::uint32_t Engine::adjacency_slot(NodeId v, NodeId key) const {
+  const auto& nb = graph_.neighbors(v);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), key);
+  if (it == nb.end() || *it != key) return UINT32_MAX;
+  return s_.an_begin[v] + static_cast<std::uint32_t>(it - nb.begin());
+}
+
+void Engine::ensure_edge_out_pool() {
+  if (edge_out_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(edge_out_init_mutex_);
+  if (edge_out_ready_.load(std::memory_order_relaxed)) return;
+  s_.edge_out_pool.assign(s_.an_pool.size(), kUndefined);
+  s_.edge_out_count.assign(static_cast<std::size_t>(graph_.num_nodes()), 0);
+  edge_out_ready_.store(true, std::memory_order_release);
+}
+
+Value Engine::edge_output_lookup(NodeId v, NodeId key) const {
+  if (!edge_out_ready_.load(std::memory_order_acquire)) return kUndefined;
+  const std::uint32_t slot = adjacency_slot(v, key);
+  if (slot == UINT32_MAX) return kUndefined;
+  return s_.edge_out_pool[slot];
+}
+
+void Engine::edge_output_store(NodeId v, NodeId key, Value value) {
+  ensure_edge_out_pool();
+  const std::uint32_t slot = adjacency_slot(v, key);
+  DGAP_REQUIRE(slot != UINT32_MAX,
+               "edge outputs are keyed by a neighbor index");
+  Value& cell = s_.edge_out_pool[slot];
+  if (cell == kUndefined) ++s_.edge_out_count[v];
+  cell = value;
+}
+
+std::uint32_t Engine::edge_output_count(NodeId v) const {
+  if (!edge_out_ready_.load(std::memory_order_acquire)) return 0;
+  return s_.edge_out_count[v];
+}
+
+void Engine::materialize_edge_outputs(
+    NodeId v, std::vector<std::pair<NodeId, Value>>& out) const {
+  out.clear();
+  if (!edge_out_ready_.load(std::memory_order_acquire)) return;
+  if (s_.edge_out_count[v] == 0) return;
+  const auto& nb = graph_.neighbors(v);
+  const std::uint32_t base = s_.an_begin[v];
+  for (std::size_t j = 0; j < nb.size(); ++j) {
+    const Value val = s_.edge_out_pool[base + j];
+    if (val != kUndefined) out.emplace_back(nb[j], val);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -199,26 +259,52 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
   DGAP_REQUIRE(factory != nullptr, "a program factory is required");
   DGAP_REQUIRE(options_.num_threads >= 1, "num_threads must be >= 1");
   const NodeId n = g.num_nodes();
-  nodes_.resize(static_cast<std::size_t>(n));
-  s_.active_nodes.clear();
-  s_.active_nodes.reserve(static_cast<std::size_t>(n));
+  const std::size_t nu = static_cast<std::size_t>(n);
+  programs_.clear();
+  programs_.reserve(nu);
+  s_.awake_nodes.clear();
+  s_.awake_nodes.reserve(nu);
+  // Struct-of-arrays node state. The CSR offsets mirror the graph's
+  // adjacency, and every pool slot in [0, total) is rewritten below, so a
+  // reused scratch cannot leak a previous (larger) graph's tails into this
+  // run (tests/scratch_reuse_test.cpp sweeps decreasing sizes to pin it).
+  s_.node_output.assign(nu, kUndefined);
+  s_.an_begin.resize(nu + 1);
+  std::size_t total_adj = 0;
   for (NodeId v = 0; v < n; ++v) {
-    nodes_[v].program = factory(v);
-    DGAP_REQUIRE(nodes_[v].program != nullptr, "factory returned null");
-    nodes_[v].active_neighbors = g.neighbors(v);
-    s_.active_nodes.push_back(v);
+    s_.an_begin[v] = static_cast<std::uint32_t>(total_adj);
+    total_adj += g.neighbors(v).size();
+  }
+  s_.an_begin[nu] = static_cast<std::uint32_t>(total_adj);
+  s_.an_pool.resize(total_adj);
+  s_.an_count.resize(nu);
+  for (NodeId v = 0; v < n; ++v) {
+    programs_.push_back(factory(v));
+    DGAP_REQUIRE(programs_.back() != nullptr, "factory returned null");
+    const auto& nb = g.neighbors(v);
+    std::copy(nb.begin(), nb.end(), s_.an_pool.begin() + s_.an_begin[v]);
+    s_.an_count[v] = static_cast<std::uint32_t>(nb.size());
+    s_.awake_nodes.push_back(v);
   }
   active_count_ = n;
-  s_.node_active.assign(static_cast<std::size_t>(n), 1);
-  s_.terminate_flag.assign(static_cast<std::size_t>(n), 0);
+  s_.node_active.assign(nu, 1);
+  s_.terminate_flag.assign(nu, 0);
+  s_.node_awake.assign(nu, 1);
+  s_.idle_request.assign(nu, 0);
+  // The edge-output pool is allocated lazily on first store; a fresh run
+  // starts not-ready regardless of what a reused scratch still holds.
   // assign, not resize: a reused scratch carries round stamps from its
   // previous run, and a stale stamp equal to this run's current round
   // would resurrect a dead inbox slice.
-  s_.inbox_ref.assign(static_cast<std::size_t>(n), detail::InboxRef{});
+  s_.inbox_ref.assign(nu, detail::InboxRef{});
   // A previous run that died mid-round (an exception out of a program
   // hook) can leave nonzero counts / stale worklists behind, so restore
   // every between-rounds invariant explicitly.
-  s_.recv_count.assign(static_cast<std::size_t>(n), 0);
+  s_.recv_count.assign(nu, 0);
+  s_.recv_nodes.clear();
+  s_.woken.clear();
+  s_.wake_next.clear();
+  s_.next_awake.clear();
   s_.newly_terminated.clear();
   s_.touched_receivers.clear();
   s_.sorted_sends.clear();
@@ -228,6 +314,7 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
     sh.arena.clear();
     sh.sends.clear();
     sh.channels_monotone = true;
+    sh.any_idle = false;
   }
   if (options_.num_threads > 1) {
     if (shared_pool != nullptr) {
@@ -270,9 +357,9 @@ void Engine::charge(std::size_t payload_words, int channel) {
 }
 
 template <typename Body>
-void Engine::run_sharded(const Body& body) {
+void Engine::run_sharded(std::size_t worklist_size, const Body& body) {
   const auto shards = s_.shards.size();
-  const std::size_t m = s_.active_nodes.size();
+  const std::size_t m = worklist_size;
   if (!pool_) {
     body(0, 0, m);
     return;
@@ -285,15 +372,16 @@ void Engine::run_sharded(const Body& body) {
 
 void Engine::send_phase() {
   in_send_phase_ = true;
-  run_sharded([this](int s, std::size_t lo, std::size_t hi) {
+  run_sharded(s_.awake_nodes.size(),
+              [this](int s, std::size_t lo, std::size_t hi) {
     auto& sh = s_.shards[static_cast<std::size_t>(s)];
     sh.arena.clear();
     sh.sends.clear();
     for (std::size_t i = lo; i < hi; ++i) {
-      const NodeId v = s_.active_nodes[i];
+      const NodeId v = s_.awake_nodes[i];
       sh.last_channel = INT_MIN;
       NodeContext ctx(this, v, &sh);
-      nodes_[v].program->on_send(ctx);
+      programs_[v]->on_send(ctx);
     }
   });
   in_send_phase_ = false;
@@ -317,14 +405,18 @@ void Engine::for_each_send(const Fn& fn) const {
 
 void Engine::deliver_round_messages() {
   // Freeze the per-shard arenas and resolve each record's payload pointer,
-  // charging the message metrics in sender order. Every sent message is
-  // charged — including messages addressed to a node that terminated in an
-  // earlier round. The model's cost accounting is sender-side: the sender
-  // cannot know the receiver is gone until the termination notice arrives
-  // (next round's active_neighbors view), so the words crossed the wire
-  // and count toward total_messages/total_words. Delivery, however, drops
-  // them below: a terminated node has no receive phase, and resurrected
-  // inboxes would violate the model. Pinned by
+  // charging the message metrics in sender order. Small payloads (at most
+  // SendRecord::kInlineCap words) live inline in the record itself, so
+  // their resolved pointer is a self-pointer — valid because the shard
+  // buffers are frozen for the rest of the round (sorted_sends copies keep
+  // pointing at the originals). Every sent message is charged — including
+  // messages addressed to a node that terminated in an earlier round. The
+  // model's cost accounting is sender-side: the sender cannot know the
+  // receiver is gone until the termination notice arrives (next round's
+  // active_neighbors view), so the words crossed the wire and count toward
+  // total_messages/total_words. Delivery, however, drops them below: a
+  // terminated node has no receive phase, and resurrected inboxes would
+  // violate the model. Pinned by
   // Engine.DropsToTerminatedAreChargedNotDelivered in engine_test.cpp.
   // The same pass also runs the counting stage of the receiver scatter
   // (below) — per-record work is memory-bound, so fusing the loops matters —
@@ -342,7 +434,8 @@ void Engine::deliver_round_messages() {
     arena_words += sh.arena.size();
     const Value* base = sh.arena.data();
     for (auto& r : sh.sends) {
-      r.words = base + r.offset;
+      r.words = r.len <= detail::SendRecord::kInlineCap ? r.inline_words
+                                                        : base + r.offset;
       acct.charge(r.len, r.channel, congest_limit);
       // Under an enforcing policy the link layer decides what arrives this
       // round; the receiver counting below only feeds the fast-path scatter.
@@ -436,6 +529,27 @@ void Engine::deliver_enforced() {
   }
 }
 
+const std::vector<NodeId>& Engine::collect_delivery_wakes() {
+  // A delivery to a sleeping node wakes it for this round's receive phase
+  // (it skipped the send phase, which is consistent with its quiescence
+  // promise — the wake event postdates the send phase anyway). Receivers
+  // in touched_receivers are already filtered to active nodes.
+  s_.woken.clear();
+  for (const NodeId to : s_.touched_receivers) {
+    if (!s_.node_awake[to]) {
+      s_.node_awake[to] = 1;
+      s_.woken.push_back(to);
+    }
+  }
+  if (s_.woken.empty()) return s_.awake_nodes;  // the common, no-idle case
+  std::sort(s_.woken.begin(), s_.woken.end());
+  s_.recv_nodes.clear();
+  s_.recv_nodes.reserve(s_.awake_nodes.size() + s_.woken.size());
+  std::merge(s_.awake_nodes.begin(), s_.awake_nodes.end(), s_.woken.begin(),
+             s_.woken.end(), std::back_inserter(s_.recv_nodes));
+  return s_.recv_nodes;
+}
+
 void Engine::trace_deliveries() {
   // Walk the freshly scattered inbox slices — receivers in first-touch
   // order, each slice already in canonical (sender, channel, send order) —
@@ -453,64 +567,117 @@ void Engine::trace_deliveries() {
   }
 }
 
-void Engine::receive_phase() {
+void Engine::receive_phase(const std::vector<NodeId>& recv) {
   // Safe to shard: a program's receive hook writes only its own node's
-  // state (output, edge_outputs, terminate_requested) and reads neighbor
-  // state frozen at the start of the round (active flags and outputs only
-  // change in process_terminations, after this phase joins).
-  run_sharded([this](int, std::size_t lo, std::size_t hi) {
+  // state (output, edge outputs, terminate/idle requests) and reads
+  // neighbor state frozen at the start of the round (active flags and
+  // outputs only change in process_terminations, after this phase joins).
+  // The shard pointer is passed for the idle() flag only; send() stays
+  // guarded by in_send_phase_.
+  run_sharded(recv.size(), [this, &recv](int s, std::size_t lo,
+                                         std::size_t hi) {
+    auto& sh = s_.shards[static_cast<std::size_t>(s)];
+    sh.any_idle = false;
     for (std::size_t i = lo; i < hi; ++i) {
-      const NodeId v = s_.active_nodes[i];
-      NodeContext ctx(this, v, nullptr);
-      nodes_[v].program->on_receive(ctx);
+      const NodeId v = recv[i];
+      NodeContext ctx(this, v, &sh);
+      programs_[v]->on_receive(ctx);
     }
   });
 }
 
-void Engine::process_terminations(std::vector<int>& termination_round) {
+void Engine::process_terminations(const std::vector<NodeId>& recv,
+                                  std::vector<int>& termination_round) {
+  // Only nodes whose hooks ran this round can have requested termination,
+  // and every such node is on the receive worklist (awake nodes plus
+  // delivery-woken sleepers), so the sweep is O(recv), not O(n).
   s_.newly_terminated.clear();
-  for (const NodeId v : s_.active_nodes) {
+  for (const NodeId v : recv) {
     if (!s_.terminate_flag[v]) continue;
     s_.node_active[v] = 0;
     --active_count_;
     termination_round[v] = round_;
     s_.newly_terminated.push_back(v);  // ascending: the worklist is ascending
     if (!sinks_.empty()) {
-      const NodeState& st = nodes_[v];
+      materialize_edge_outputs(v, term_edge_outputs_);
       for (TraceSink* sink : sinks_) {
-        sink->on_termination(round_, v, st.output, st.edge_outputs);
+        sink->on_termination(round_, v, s_.node_output[v],
+                             term_edge_outputs_);
       }
     }
   }
-  if (s_.newly_terminated.empty()) return;
-  // Second pass: charge the notification messages implied by the Section 7
-  // convention (one message carrying the node's outputs to each neighbor
-  // that is still active) and collect the affected neighbors, deduplicated
-  // via the s_.recv_count scratch (all-zero between rounds, restored below).
-  // s_.touched_receivers is likewise free until next round's delivery.
-  s_.touched_receivers.clear();
-  for (const NodeId v : s_.newly_terminated) {
-    const std::size_t notice_words = 1 + nodes_[v].edge_outputs.size();
-    for (NodeId u : graph_.neighbors(v)) {
-      if (!s_.node_active[u]) continue;
-      charge(notice_words, /*channel=*/0);
-      if (s_.recv_count[u]++ == 0) s_.touched_receivers.push_back(u);
+  bool any_idle = false;
+  for (const auto& sh : s_.shards) any_idle |= sh.any_idle;
+  if (s_.newly_terminated.empty() && !any_idle && s_.woken.empty()) return;
+  s_.wake_next.clear();
+  if (!s_.newly_terminated.empty()) {
+    // Charge the notification messages implied by the Section 7 convention
+    // (one message carrying the node's outputs to each neighbor that is
+    // still active) and collect the affected neighbors, deduplicated via
+    // the s_.recv_count scratch (all-zero between rounds, restored below).
+    // s_.touched_receivers is likewise free until next round's delivery.
+    s_.touched_receivers.clear();
+    for (const NodeId v : s_.newly_terminated) {
+      const std::size_t notice_words = 1 + edge_output_count(v);
+      for (NodeId u : graph_.neighbors(v)) {
+        if (!s_.node_active[u]) continue;
+        charge(notice_words, /*channel=*/0);
+        if (s_.recv_count[u]++ == 0) s_.touched_receivers.push_back(u);
+      }
     }
+    // Drop every terminated node from each affected view by compacting the
+    // node's live CSR prefix in one linear pass (an invariant of the view
+    // is that it never contains inactive nodes, so filtering on the active
+    // flag removes exactly this round's batch). A termination is also a
+    // wake event: the neighbor's view changes next round, so any idle
+    // promise it made is void.
+    for (const NodeId u : s_.touched_receivers) {
+      s_.recv_count[u] = 0;
+      NodeId* live = s_.an_pool.data() + s_.an_begin[u];
+      const std::uint32_t count = s_.an_count[u];
+      std::uint32_t w = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const NodeId x = live[i];
+        if (s_.node_active[x]) live[w++] = x;
+      }
+      s_.an_count[u] = w;
+      s_.idle_request[u] = 0;
+      if (!s_.node_awake[u]) {
+        s_.node_awake[u] = 1;
+        s_.wake_next.push_back(u);
+      }
+    }
+    std::sort(s_.wake_next.begin(), s_.wake_next.end());
   }
-  // Drop every terminated node from each affected view in one linear pass
-  // (an invariant of the view is that it never contains inactive nodes, so
-  // filtering on the active flag removes exactly this round's batch).
-  for (const NodeId u : s_.touched_receivers) {
-    s_.recv_count[u] = 0;
-    auto& uan = nodes_[u].active_neighbors;
-    uan.erase(std::remove_if(uan.begin(), uan.end(),
-                             [this](NodeId w) { return !s_.node_active[w]; }),
-              uan.end());
+  // Rebuild the awake worklist for the next round: the receive worklist
+  // (which contains every currently-awake node) filtered by liveness and
+  // this round's idle requests, merged with the sleepers just woken by a
+  // termination (disjoint from recv by construction: they were asleep and
+  // received nothing).
+  s_.next_awake.clear();
+  std::size_t ri = 0, wi = 0;
+  const std::size_t rn = recv.size(), wn = s_.wake_next.size();
+  while (ri < rn || wi < wn) {
+    NodeId v;
+    if (wi >= wn || (ri < rn && recv[ri] < s_.wake_next[wi])) {
+      v = recv[ri++];
+    } else {
+      v = s_.wake_next[wi++];
+    }
+    if (!s_.node_active[v]) {
+      s_.node_awake[v] = 0;
+      s_.idle_request[v] = 0;
+      continue;
+    }
+    if (s_.idle_request[v]) {
+      s_.idle_request[v] = 0;
+      s_.node_awake[v] = 0;
+      continue;
+    }
+    s_.node_awake[v] = 1;
+    s_.next_awake.push_back(v);
   }
-  s_.active_nodes.erase(
-      std::remove_if(s_.active_nodes.begin(), s_.active_nodes.end(),
-                     [this](NodeId v) { return !s_.node_active[v]; }),
-      s_.active_nodes.end());
+  std::swap(s_.awake_nodes, s_.next_awake);
 }
 
 RunResult Engine::run() {
@@ -521,22 +688,30 @@ RunResult Engine::run() {
 
   for (TraceSink* sink : sinks_) sink->on_run_begin(n, options_);
   while (active_count_ > 0 && round_ < options_.max_rounds) {
+    if (s_.awake_nodes.empty() &&
+        (!link_ || link_->pending_backlog() == 0)) {
+      // Every active node is idle and no traffic is in flight: no event
+      // can ever wake anyone again, so the network is permanently
+      // quiescent. Report the run as incomplete instead of spinning the
+      // round counter to max_rounds.
+      break;
+    }
     ++round_;
     for (TraceSink* sink : sinks_) sink->on_round_begin(round_, active_count_);
     send_phase();
     deliver_round_messages();
+    const std::vector<NodeId>& recv = collect_delivery_wakes();
     if (trace_messages_) trace_deliveries();
-    receive_phase();
-    process_terminations(result.termination_round);
+    receive_phase(recv);
+    process_terminations(recv, result.termination_round);
   }
 
   result.completed = (active_count_ == 0);
   result.rounds = round_;
-  result.outputs.reserve(static_cast<std::size_t>(n));
-  result.edge_outputs.reserve(static_cast<std::size_t>(n));
+  result.outputs = s_.node_output;
+  result.edge_outputs.resize(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
-    result.outputs.push_back(nodes_[v].output);
-    result.edge_outputs.push_back(nodes_[v].edge_outputs);
+    materialize_edge_outputs(v, result.edge_outputs[v]);
   }
   result.total_messages = metrics_.total_messages;
   result.total_words = metrics_.total_words;

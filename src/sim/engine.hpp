@@ -17,8 +17,11 @@
 // per output value), so CONGEST accounting stays honest.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -66,20 +69,26 @@ class Engine;
 
 namespace detail {
 
-/// One queued send: routing key plus the payload's (offset, len) into the
-/// producing shard's arena. `words` is filled in after the send phase, once
-/// the arena is frozen (it may still grow — and move — while the phase
-/// runs, which is why the offset is recorded instead of a pointer).
+/// One queued send. Payloads of at most kInlineCap words — the common case
+/// for every algorithm in docs/ALGORITHMS.md — are stored inline in the
+/// record itself and never touch the arena; larger payloads record the
+/// (offset, len) of their arena copy. `words` is filled in after the send
+/// phase, once both the arena and the shard's record vector are frozen
+/// (either may still grow — and move — while the phase runs, which is why
+/// neither an arena pointer nor a self-pointer can be taken earlier).
 struct SendRecord {
+  static constexpr std::uint32_t kInlineCap = 2;
+
   NodeId to;
   NodeId from;
   std::int32_t channel;
-  std::uint32_t offset;
   std::uint32_t len;
-  const Value* words;
+  std::uint32_t offset;         // arena offset; unused when len <= kInlineCap
+  const Value* words;           // resolved after the send phase
+  Value inline_words[kInlineCap];
 };
 
-/// Outgoing traffic of one contiguous slice of the active worklist. Serial
+/// Outgoing traffic of one contiguous slice of the awake worklist. Serial
 /// runs use a single shard; parallel runs give each thread its own, merged
 /// in slice order so the round buffer is identical to the serial one.
 struct SendShard {
@@ -87,6 +96,7 @@ struct SendShard {
   std::vector<SendRecord> sends;
   bool channels_monotone = true;  // every sender's channels non-decreasing?
   int last_channel = 0;           // channel of the current node's last send
+  bool any_idle = false;          // some node on this slice called idle()
 };
 
 /// Inbox of one node = a slice of the flat round buffer, valid for one
@@ -103,19 +113,41 @@ class LinkLayer;  // per-edge bandwidth scheduler (sim/link_layer.hpp)
 }  // namespace detail
 
 /// The engine's reusable data-plane buffers: hot flags, worklists, the
-/// per-thread send shards (with their payload arenas) and the flat inbox.
-/// An Engine normally owns one privately; sweeps that construct thousands
-/// of short-lived engines can instead hand the same scratch to consecutive
-/// engines — one live engine at a time, never two — so arena and worklist
-/// capacity is reused instead of reallocated per run. The engine fully
-/// re-initializes the logical contents at construction, so reuse cannot
-/// leak state across runs (tests/batch_test.cpp pins bit-identical
-/// results); the win is purely the retained heap capacity.
+/// struct-of-arrays node state, the per-thread send shards (with their
+/// payload arenas) and the flat inbox. An Engine normally owns one
+/// privately; sweeps that construct thousands of short-lived engines can
+/// instead hand the same scratch to consecutive engines — one live engine
+/// at a time, never two — so arena, worklist, and node-state capacity is
+/// reused instead of reallocated per run. The engine fully re-initializes
+/// the logical contents at construction, so reuse cannot leak state across
+/// runs (tests/batch_test.cpp and tests/scratch_reuse_test.cpp pin
+/// bit-identical results); the win is purely the retained heap capacity.
+///
+/// Per-node state is struct-of-arrays (docs/MODEL.md, "Memory model"): one
+/// flat output array, and the active-neighbor sets as live prefixes of a
+/// CSR pool mirroring the graph's adjacency — termination compacts a
+/// node's prefix in place instead of erasing from a per-node vector, so
+/// the termination sweep and delivery checks touch dense cache-resident
+/// arrays even at n = 10^6-10^7.
 struct EngineScratch {
   std::vector<std::uint8_t> node_active;     // hot flag, 1 = active
   std::vector<std::uint8_t> terminate_flag;  // hot flag, 1 = requested
-  std::vector<NodeId> active_nodes;       // live node indices, ascending
+  std::vector<std::uint8_t> node_awake;      // active and not idling
+  std::vector<std::uint8_t> idle_request;    // idle() called this round
+  std::vector<NodeId> awake_nodes;        // awake node indices, ascending
+  std::vector<NodeId> recv_nodes;         // receive worklist (merged wakes)
+  std::vector<NodeId> woken;              // sleepers woken by a delivery
+  std::vector<NodeId> wake_next;          // sleepers woken by a termination
+  std::vector<NodeId> next_awake;         // rebuild target for awake_nodes
   std::vector<NodeId> newly_terminated;   // scratch for termination pass
+  // --- struct-of-arrays node state ---
+  std::vector<Value> node_output;         // key-0 outputs; kUndefined unset
+  std::vector<std::uint32_t> an_begin;    // CSR offsets (n + 1), adjacency
+  std::vector<NodeId> an_pool;            // active-neighbor live prefixes
+  std::vector<std::uint32_t> an_count;    // live prefix length per node
+  std::vector<Value> edge_out_pool;       // lazy; one slot / directed edge
+  std::vector<std::uint32_t> edge_out_count;  // assigned slots per node
+  // --- message data plane ---
   std::vector<detail::SendShard> shards;  // one per engine thread
   std::vector<detail::SendRecord> sorted_sends;  // rare channel-repair path
   std::vector<Message> inbox_flat;        // receiver-grouped round buffer
@@ -144,8 +176,10 @@ class NodeContext {
   Value neighbor_id(NodeId u) const;
   int degree() const { return static_cast<int>(neighbors().size()); }
 
-  /// Neighbors that have not terminated as of the start of this round.
-  const std::vector<NodeId>& active_neighbors() const;
+  /// Neighbors that have not terminated as of the start of this round
+  /// (internal indices, ascending). The span views engine-owned storage
+  /// that is stable within the round; copy it to keep it across rounds.
+  std::span<const NodeId> active_neighbors() const;
   bool neighbor_active(NodeId u) const;
 
   /// Output of a terminated neighbor (kUndefined if it never set one, or
@@ -201,6 +235,17 @@ class NodeContext {
   /// all its output variables, it terminates").
   void terminate();
   bool terminated() const;
+
+  /// Promise quiescence: this node has nothing to send and its decision
+  /// cannot change until an external event occurs. The engine stops
+  /// calling the node's hooks after this round and wakes it when a message
+  /// is delivered to it (same round's receive phase) or a neighbor
+  /// terminates (next round, when the updated active_neighbors() /
+  /// neighbor_output() view becomes visible). Purely a scheduling hint:
+  /// rounds still advance globally, and an algorithm that never idles runs
+  /// exactly as before. Only valid in onReceive. See docs/MODEL.md,
+  /// "Idle nodes and event-driven scheduling".
+  void idle();
 
  private:
   friend class Engine;
@@ -316,23 +361,14 @@ class Engine {
  private:
   friend class NodeContext;
 
-  /// Cold per-node state. The hot flags (active, terminate_requested) live
-  /// in dedicated byte arrays so the per-message delivery checks and the
-  /// termination sweep stay cache-resident even for large n.
-  struct NodeState {
-    std::unique_ptr<NodeProgram> program;
-    std::vector<NodeId> active_neighbors;
-    Value output = kUndefined;
-    std::vector<std::pair<NodeId, Value>> edge_outputs;  // sorted by key
-  };
-
-  /// Runs body(shard, lo, hi) for each contiguous slice [lo, hi) of
-  /// active_nodes_ — on the pool when configured, inline otherwise. Slices
-  /// are a pure function of (active count, shard count), so concatenating
-  /// per-shard output in shard order is independent of the thread count;
-  /// that is the heart of the determinism contract.
+  /// Runs body(shard, lo, hi) for each contiguous slice [lo, hi) of a
+  /// worklist of the given size — on the pool when configured, inline
+  /// otherwise. Slices are a pure function of (worklist size, shard
+  /// count), so concatenating per-shard output in shard order is
+  /// independent of the thread count; that is the heart of the
+  /// determinism contract.
   template <typename Body>
-  void run_sharded(const Body& body);
+  void run_sharded(std::size_t worklist_size, const Body& body);
   void send_phase();
   void deliver_round_messages();
   /// Enforcing-policy tail of delivery: route the round's sends through the
@@ -340,21 +376,44 @@ class Engine {
   void deliver_enforced();
   template <typename Fn>
   void for_each_send(const Fn& fn) const;
-  void receive_phase();
-  void process_terminations(std::vector<int>& termination_round);
+  /// Wake sleeping nodes that received traffic this round; returns the
+  /// receive worklist (awake_nodes when nothing woke, else the merged
+  /// recv_nodes).
+  const std::vector<NodeId>& collect_delivery_wakes();
+  void receive_phase(const std::vector<NodeId>& recv);
+  void process_terminations(const std::vector<NodeId>& recv,
+                            std::vector<int>& termination_round);
   void charge(std::size_t payload_words, int channel);
   /// Emit this round's delivered messages (the freshly scattered inbox
   /// slices) to the sinks. Only called when a sink wants message detail.
   void trace_deliveries();
 
+  // --- struct-of-arrays edge-output accessors. The pool (one Value slot
+  // per directed edge, addressed by the CSR adjacency position of the key)
+  // is allocated lazily on the first store, so node-valued workloads never
+  // pay for it; allocation is guarded for the sharded receive phase.
+  std::uint32_t adjacency_slot(NodeId v, NodeId key) const;
+  void ensure_edge_out_pool();
+  Value edge_output_lookup(NodeId v, NodeId key) const;
+  void edge_output_store(NodeId v, NodeId key, Value value);
+  std::uint32_t edge_output_count(NodeId v) const;
+  void materialize_edge_outputs(
+      NodeId v, std::vector<std::pair<NodeId, Value>>& out) const;
+
   const Graph& graph_;
   const Predictions* predictions_;  // borrowed; outlives the engine
   EngineOptions options_;
-  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;  // cold, per node
   int round_ = 0;
   bool in_send_phase_ = false;
   NodeId active_count_ = 0;
   RunResult metrics_;  // message counters accumulated here during the run
+  // Lazy edge-output pool handshake: readers that see `false` short-circuit
+  // to kUndefined; the release store publishes the initialized pool.
+  std::atomic<bool> edge_out_ready_{false};
+  std::mutex edge_out_init_mutex_;
+  // Scratch for materializing one node's edge outputs for the trace spine.
+  std::vector<std::pair<NodeId, Value>> term_edge_outputs_;
 
   // --- data plane (all buffers are reused across rounds; injected scratch
   // additionally reuses their capacity across consecutive engines) ---

@@ -112,6 +112,11 @@ class LinkLayer {
   /// from -> to, as of the most recent delivery step. Zero outside kDefer.
   std::int64_t backlog_words(NodeId from, NodeId to) const;
 
+  /// Total words carried across rounds on all links. Nonzero only under
+  /// kDefer; the engine's quiescence check uses it to distinguish "every
+  /// node is idle but traffic is still in flight" from a permanent stall.
+  std::int64_t pending_backlog() const { return total_backlog_; }
+
   /// Export the enforcement metrics into a finished run's result.
   void export_metrics(RunResult& m) const;
 

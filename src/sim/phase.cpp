@@ -18,10 +18,14 @@ class PhaseRunner final : public NodeProgram {
 
   void on_receive(NodeContext& ctx) override {
     Channel ch(ctx, 0);
-    if (phase_->on_receive(ctx, ch) == PhaseProgram::Status::kFinished &&
-        !ctx.terminated()) {
+    const PhaseProgram::Status status = phase_->on_receive(ctx, ch);
+    if (status == PhaseProgram::Status::kFinished && !ctx.terminated()) {
       if (!ctx.has_output()) ctx.set_output(leftover_output_);
       ctx.terminate();
+    } else if (status == PhaseProgram::Status::kIdle && !ctx.terminated()) {
+      // A bare phase's quiescence promise becomes an engine-level idle;
+      // the engine wakes the node on a delivery or neighbor termination.
+      ctx.idle();
     }
   }
 

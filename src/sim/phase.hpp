@@ -96,7 +96,16 @@ class Channel {
 
 class PhaseProgram {
  public:
-  enum class Status { kRunning, kFinished };
+  /// kIdle means "still running, and I promise quiescence until an event":
+  /// the phase has nothing to send and its decision cannot change until a
+  /// message arrives or a neighbor terminates. When a phase runs bare
+  /// (phase_as_algorithm), the runner forwards the promise to the engine
+  /// (NodeContext::idle()) so the node's hooks are skipped until a wake
+  /// event. Composition wrappers (BudgetedPhase, SequencePhase, the
+  /// template drivers) must keep counting rounds for their lockstep
+  /// schedules, so they treat kIdle exactly like kRunning — which every
+  /// `== kFinished` comparison already does.
+  enum class Status { kRunning, kIdle, kFinished };
 
   virtual ~PhaseProgram() = default;
   virtual void on_send(NodeContext& ctx, Channel& ch) = 0;

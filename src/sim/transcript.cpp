@@ -25,8 +25,16 @@ enum Tag : std::uint8_t {
   kTagRunEnd = 5,
 };
 
-std::uint64_t fnv1a(const std::uint8_t* p, std::size_t count) {
-  std::uint64_t h = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+/// Bytes the streaming writer buffers before a mid-round flush. Both
+/// checksums are carried incrementally across flushes, so the bound holds
+/// even when a single round (Luby's all-broadcast round 1) dominates the
+/// file; the buffer peaks at this threshold plus one event's encoding.
+constexpr std::size_t kStreamFlushBytes = 1 << 20;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t count,
+                    std::uint64_t h = kFnvBasis) {
   for (std::size_t i = 0; i < count; ++i) {
     h ^= p[i];
     h *= 1099511628211ULL;
@@ -140,8 +148,49 @@ TranscriptWriter::TranscriptWriter(TraceDetail detail, std::string label,
                                    std::optional<GraphSpec> spec)
     : detail_(detail), label_(std::move(label)), spec_(std::move(spec)) {}
 
+TranscriptWriter::~TranscriptWriter() {
+  // Abnormal exit mid-stream (exception before on_run_end): release the
+  // handle; the file on disk is incomplete and will fail decoding.
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TranscriptWriter::stream_to(const std::string& path) {
+  DGAP_REQUIRE(!begun_, "stream_to must be called before the run begins");
+  DGAP_REQUIRE(file_ == nullptr, "stream_to called twice");
+  file_ = std::fopen(path.c_str(), "wb");
+  DGAP_REQUIRE(file_ != nullptr,
+               "cannot open transcript file for writing: " + path);
+  path_ = path;
+}
+
+void TranscriptWriter::flush_buffer() {
+  if (file_ == nullptr) return;
+  if (out_.size() > high_water_) high_water_ = out_.size();
+  if (!out_.empty()) {
+    file_hash_ = fnv1a(out_.data(), out_.size(), file_hash_);
+    const std::size_t written =
+        std::fwrite(out_.data(), 1, out_.size(), file_);
+    DGAP_REQUIRE(written == out_.size(),
+                 "short write to transcript file: " + path_);
+    flushed_bytes_ += out_.size();
+    out_.clear();  // keeps capacity: the buffer is reused every round
+  }
+  round_start_ = 0;
+}
+
+void TranscriptWriter::maybe_partial_flush() {
+  if (file_ == nullptr || out_.size() < kStreamFlushBytes) return;
+  // Fold the open round block's bytes into the running round checksum
+  // before they leave the buffer; close_round seeds from it, so the
+  // kTagRoundEnd value is identical to hashing the whole block at once.
+  round_hash_ = fnv1a(out_.data() + round_start_, out_.size() - round_start_,
+                      round_hash_);
+  flush_buffer();
+}
+
 void TranscriptWriter::on_run_begin(NodeId n, const EngineOptions& options) {
-  DGAP_REQUIRE(out_.empty(), "a TranscriptWriter records exactly one run");
+  DGAP_REQUIRE(!begun_, "a TranscriptWriter records exactly one run");
+  begun_ = true;
   out_.reserve(256);
   for (const std::uint8_t b : kMagic) out_.push_back(b);
   put_varint(out_, kTranscriptVersion);
@@ -163,21 +212,27 @@ void TranscriptWriter::on_run_begin(NodeId n, const EngineOptions& options) {
   put_zigzag(out_, options.max_rounds);
   put_zigzag(out_, options.congest_word_limit);
   put_varint(out_, static_cast<std::uint64_t>(options.congest_policy));
+  flush_buffer();
 }
 
 void TranscriptWriter::close_round() {
   if (!in_round_) return;
-  const std::uint64_t sum =
-      fnv1a(out_.data() + round_start_, out_.size() - round_start_);
+  // Seeded from round_hash_: the FNV basis in-memory (one-shot hash), or
+  // the carried prefix hash when mid-round flushes already wrote part of
+  // the block to disk. Either way the checksum covers the whole block.
+  const std::uint64_t sum = fnv1a(out_.data() + round_start_,
+                                  out_.size() - round_start_, round_hash_);
   out_.push_back(kTagRoundEnd);
   put_fixed64(out_, sum);
   in_round_ = false;
+  flush_buffer();
 }
 
 void TranscriptWriter::on_round_begin(int round, NodeId active) {
-  DGAP_REQUIRE(!out_.empty() && !finished_,
+  DGAP_REQUIRE(begun_ && !finished_,
                "round event outside an open recording");
   close_round();
+  round_hash_ = kFnvBasis;
   round_start_ = out_.size();
   out_.push_back(kTagRound);
   put_varint(out_, static_cast<std::uint64_t>(round));
@@ -197,6 +252,7 @@ void TranscriptWriter::on_message(const TraceMessage& m) {
   if (detail_ == TraceDetail::kPayloads) {
     for (const Value w : m.words) put_zigzag(out_, w);
   }
+  maybe_partial_flush();
 }
 
 void TranscriptWriter::on_termination(
@@ -211,10 +267,11 @@ void TranscriptWriter::on_termination(
     put_varint(out_, static_cast<std::uint64_t>(key));
     put_zigzag(out_, v);
   }
+  maybe_partial_flush();
 }
 
 void TranscriptWriter::on_run_end(const RunResult& result) {
-  DGAP_REQUIRE(!out_.empty() && !finished_, "run end without a run begin");
+  DGAP_REQUIRE(begun_ && !finished_, "run end without a run begin");
   close_round();
   out_.push_back(kTagRunEnd);
   out_.push_back(result.completed ? 1 : 0);
@@ -222,18 +279,33 @@ void TranscriptWriter::on_run_end(const RunResult& result) {
   put_varint(out_, static_cast<std::uint64_t>(result.total_messages));
   put_varint(out_, static_cast<std::uint64_t>(result.total_words));
   // Whole-file checksum last: every byte before it is covered, so any
-  // single-byte corruption (including in the trailer) fails decoding.
-  put_fixed64(out_, fnv1a(out_.data(), out_.size()));
+  // single-byte corruption (including in the trailer) fails decoding. In
+  // write-through mode the hash continues from the flushed prefix, which
+  // FNV-1a's byte-sequential structure makes identical to hashing the
+  // whole file at once.
+  put_fixed64(out_, file_ != nullptr
+                        ? fnv1a(out_.data(), out_.size(), file_hash_)
+                        : fnv1a(out_.data(), out_.size()));
   finished_ = true;
+  if (file_ != nullptr) {
+    flush_buffer();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    DGAP_REQUIRE(rc == 0, "error closing transcript file: " + path_);
+  }
 }
 
 const std::vector<std::uint8_t>& TranscriptWriter::bytes() const {
   DGAP_REQUIRE(finished_, "transcript incomplete: the run has not ended");
+  DGAP_REQUIRE(path_.empty(),
+               "streaming transcript lives on disk; read the file back");
   return out_;
 }
 
 std::vector<std::uint8_t> TranscriptWriter::take_bytes() {
   DGAP_REQUIRE(finished_, "transcript incomplete: the run has not ended");
+  DGAP_REQUIRE(path_.empty(),
+               "streaming transcript lives on disk; read the file back");
   finished_ = false;
   return std::move(out_);
 }
@@ -261,7 +333,7 @@ Transcript decode_transcript(std::span<const std::uint8_t> bytes) {
     GraphSpec spec;
     const std::uint64_t family = r.varint();
     DGAP_REQUIRE(family <=
-                     static_cast<std::uint64_t>(GraphSpec::Family::kCaterpillar),
+                     static_cast<std::uint64_t>(GraphSpec::Family::kGnm),
                  "invalid transcript graph family");
     spec.family = static_cast<GraphSpec::Family>(family);
     spec.a = r.zigzag();
@@ -602,6 +674,24 @@ RecordedRun record_run(const Graph& g, const Predictions& predictions,
   RecordedRun out;
   out.result = engine.run();
   out.transcript = writer.take_bytes();
+  return out;
+}
+
+StreamedRun record_run_to_file(const std::string& path, const Graph& g,
+                               const Predictions& predictions,
+                               ProgramFactory factory, EngineOptions options,
+                               TraceDetail detail, std::string label,
+                               std::optional<GraphSpec> spec) {
+  DGAP_REQUIRE(options.trace_sink == nullptr,
+               "record_run_to_file installs its own trace sink");
+  TranscriptWriter writer(detail, std::move(label), std::move(spec));
+  writer.stream_to(path);
+  options.trace_sink = &writer;
+  Engine engine(g, predictions, std::move(factory), options);
+  StreamedRun out;
+  out.result = engine.run();
+  out.transcript_bytes = writer.streamed_bytes();
+  out.buffer_high_water = writer.buffer_high_water();
   return out;
 }
 

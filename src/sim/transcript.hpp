@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
@@ -118,11 +119,32 @@ struct Transcript {
 /// TraceSink that serializes the run into the binary format. Install via
 /// EngineOptions::trace_sink; after run() returns, bytes() holds the
 /// complete file image. A writer records exactly one run.
+///
+/// Large runs: stream_to(path) switches the writer to write-through mode —
+/// the buffer is flushed to disk after the header, after every closed
+/// round, and mid-round once it exceeds ~1 MiB, so recording kPayloads at
+/// n = 10^6 needs a small constant buffer, not the whole file (Luby's
+/// all-broadcast round 1 alone can dominate a file; the mid-round flush
+/// bounds even that). The flushed file is byte-identical to the in-memory
+/// bytes() image by construction: the append sequence is unchanged and
+/// both checksums (per-round FNV over the block, whole-file FNV) are
+/// carried incrementally across flushes, covering exactly the same bytes.
+/// The buffer is reused between flushes (clear() keeps capacity);
+/// buffer_high_water() reports the bound actually hit.
 class TranscriptWriter final : public TraceSink {
  public:
   explicit TranscriptWriter(TraceDetail detail = TraceDetail::kPayloads,
                             std::string label = {},
                             std::optional<GraphSpec> spec = std::nullopt);
+  ~TranscriptWriter() override;
+  TranscriptWriter(const TranscriptWriter&) = delete;
+  TranscriptWriter& operator=(const TranscriptWriter&) = delete;
+
+  /// Switch to write-through mode before the run begins. Opens `path` for
+  /// writing (DGAP_REQUIRE on failure); on_run_end finalizes and closes
+  /// the file. bytes()/take_bytes() are unavailable in this mode — read
+  /// the file back instead.
+  void stream_to(const std::string& path);
 
   TraceDetail detail() const override { return detail_; }
   void on_run_begin(NodeId n, const EngineOptions& options) override;
@@ -134,19 +156,41 @@ class TranscriptWriter final : public TraceSink {
   void on_run_end(const RunResult& result) override;
 
   /// The serialized transcript; complete once on_run_end has fired.
+  /// In-memory mode only (streaming writers leave the bytes on disk).
   const std::vector<std::uint8_t>& bytes() const;
   std::vector<std::uint8_t> take_bytes();
 
+  /// Write-through stats: bytes flushed to disk so far, and the largest
+  /// buffer size seen at a flush point — the memory bound the streaming
+  /// mode guarantees (one round block, not the file). Zero in-memory.
+  std::uint64_t streamed_bytes() const { return flushed_bytes_; }
+  std::size_t buffer_high_water() const { return high_water_; }
+
  private:
   void close_round();
+  void flush_buffer();
+  void maybe_partial_flush();
 
   TraceDetail detail_;
   std::string label_;
   std::optional<GraphSpec> spec_;
   std::vector<std::uint8_t> out_;
   std::size_t round_start_ = 0;  // offset of the open round block
+  bool begun_ = false;
   bool in_round_ = false;
   bool finished_ = false;
+
+  // Write-through mode (stream_to). file_hash_ is the running FNV-1a over
+  // every flushed byte, continued over the trailer so the final whole-file
+  // checksum equals the in-memory one; round_hash_ does the same for the
+  // open round block across mid-round flushes. 1469598103934665603 is the
+  // FNV-1a offset basis.
+  std::string path_;  // empty = in-memory mode
+  std::FILE* file_ = nullptr;
+  std::uint64_t file_hash_ = 1469598103934665603ULL;
+  std::uint64_t round_hash_ = 1469598103934665603ULL;
+  std::uint64_t flushed_bytes_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// Parse a serialized transcript. Every structural defect — bad magic,
@@ -214,6 +258,23 @@ RecordedRun record_run(const Graph& g, const Predictions& predictions,
                        TraceDetail detail = TraceDetail::kPayloads,
                        std::string label = {},
                        std::optional<GraphSpec> spec = std::nullopt);
+
+/// A run recorded straight to disk: the result plus the streaming stats.
+struct StreamedRun {
+  RunResult result;
+  std::uint64_t transcript_bytes = 0;  // file size on disk
+  std::size_t buffer_high_water = 0;   // writer memory bound actually hit
+};
+
+/// Convenience: run with a write-through TranscriptWriter streaming to
+/// `path`. The file is byte-identical to the buffer record_run would
+/// produce for the same job, but peak writer memory is one round block.
+StreamedRun record_run_to_file(const std::string& path, const Graph& g,
+                               const Predictions& predictions,
+                               ProgramFactory factory, EngineOptions options,
+                               TraceDetail detail = TraceDetail::kPayloads,
+                               std::string label = {},
+                               std::optional<GraphSpec> spec = std::nullopt);
 
 /// Round-stepping debugger over a recorded run: walks the transcript
 /// without re-executing any program. After each step() the view is one

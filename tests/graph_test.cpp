@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
+#include "graph/spec.hpp"
 
 namespace dgap {
 namespace {
@@ -144,6 +147,63 @@ TEST(Generators, GnpRespectsExtremes) {
   EXPECT_EQ(empty.num_edges(), 0);
   Graph full = make_gnp(10, 1.0, rng);
   EXPECT_EQ(full.num_edges(), 45);
+}
+
+TEST(Generators, GnpSparseRespectsExtremesAndExpectation) {
+  Rng rng(41);
+  Graph empty = make_gnp_sparse(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0);
+  Graph full = make_gnp_sparse(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45);
+  // Sparse regime: the edge count concentrates around p * n(n-1)/2. With
+  // n = 2000, p = 4/n the expectation is ~3998 with σ ≈ 63; ±5σ bounds
+  // make a seeded flake impossible in practice.
+  const NodeId n = 2000;
+  Graph g = make_gnp_sparse(n, 4.0 / n, rng);
+  EXPECT_GT(g.num_edges(), 3998 - 320);
+  EXPECT_LT(g.num_edges(), 3998 + 320);
+  // Deterministic for a fixed seed.
+  Rng r1(7), r2(7);
+  EXPECT_EQ(make_gnp_sparse(200, 0.05, r1).edges(),
+            make_gnp_sparse(200, 0.05, r2).edges());
+}
+
+TEST(Generators, GnmHasExactlyMEdges) {
+  Rng rng(42);
+  for (const std::int64_t m : {0LL, 1LL, 100LL, 4950LL}) {
+    Graph g = make_gnm(100, m, rng);
+    EXPECT_EQ(g.num_nodes(), 100);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+  EXPECT_THROW(make_gnm(100, 4951, rng), std::invalid_argument);
+  EXPECT_THROW(make_gnm(100, -1, rng), std::invalid_argument);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(make_gnm(300, 600, r1).edges(), make_gnm(300, 600, r2).edges());
+}
+
+TEST(Generators, SparseFamiliesBuildThroughGraphSpec) {
+  const GraphSpec gnps = GraphSpec::gnp_sparse(256, 8.0 / 256, 17,
+                                               GraphSpec::IdPolicy::kRandomized);
+  const Graph a = gnps.build();
+  const Graph b = gnps.build();
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.ids(), b.ids());
+  EXPECT_EQ(gnps.name(), "gnps_256_p0.03125_s17_rid");
+
+  const GraphSpec gnm = GraphSpec::gnm(256, 512, 23);
+  const Graph c = gnm.build();
+  EXPECT_EQ(c.num_edges(), 512);
+  EXPECT_EQ(gnm.name(), "gnm_256_m512_s23");
+}
+
+TEST(Generators, DerivedNodeCountsOverflowCleanly) {
+  // Each of these products/sums exceeds NodeId (int32) when computed in 64
+  // bits; the generators must reject them instead of wrapping silently.
+  EXPECT_THROW(make_grid(65536, 65536), std::invalid_argument);
+  EXPECT_THROW(make_caterpillar(1 << 20, 1 << 12), std::invalid_argument);
+  EXPECT_THROW(make_complete_bipartite(2000000000, 2000000000),
+               std::invalid_argument);
+  EXPECT_THROW(make_wheel_fk(1500000000), std::invalid_argument);
 }
 
 TEST(Generators, RandomTreeIsTree) {
