@@ -46,6 +46,50 @@ inline double total_wall_ms(std::span<const RunResult> results) {
   return total;
 }
 
+// Message totals over a sweep. The nominal totals (total_messages /
+// total_words) are invariant under message-reduction compilation
+// (sim/compile.hpp): nominal == sent + suppressed per run, so
+// total_words(rs) == total_words_sent(rs) + total_words_suppressed(rs)
+// holds for any sweep — the accounting identity bench_messages asserts.
+
+inline std::int64_t total_messages(std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.total_messages;
+  return total;
+}
+
+inline std::int64_t total_words(std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.total_words;
+  return total;
+}
+
+inline std::int64_t total_messages_sent(std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.messages_sent;
+  return total;
+}
+
+inline std::int64_t total_words_sent(std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.words_sent;
+  return total;
+}
+
+inline std::int64_t total_messages_suppressed(
+    std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.messages_suppressed;
+  return total;
+}
+
+inline std::int64_t total_words_suppressed(
+    std::span<const RunResult> results) {
+  std::int64_t total = 0;
+  for (const RunResult& r : results) total += r.words_suppressed;
+  return total;
+}
+
 /// Worker count for converted sweeps: saturate a small machine without
 /// oversubscribing a single-core one.
 inline int default_batch_workers() {

@@ -225,6 +225,10 @@ PhaseProgram::Status MatchingCleanupPhase::on_receive(NodeContext& ctx,
   return Status::kFinished;
 }
 
+std::vector<Value> matching_init_default() {
+  return {kMsgPrediction, kNoNode};
+}
+
 PhaseFactory make_matching_base() {
   return [](NodeId) { return std::make_unique<MatchingBasePhase>(); };
 }

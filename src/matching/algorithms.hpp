@@ -16,6 +16,8 @@
 //                           arbitrary cut).
 #pragma once
 
+#include <vector>
+
 #include "sim/phase.hpp"
 
 namespace dgap {
@@ -23,6 +25,12 @@ namespace dgap {
 inline constexpr int kMatchingBaseRounds = 2;
 inline constexpr int kMatchingInitRounds = 2;
 inline constexpr int kMatchingCleanupRounds = 1;
+
+/// The init/base phases' step-0 broadcast from a node predicted unmatched
+/// ({kMsgPrediction, ⊥}) — the dominant payload under sparse predictions,
+/// and the default message the message-reduction pass (sim/compile.hpp)
+/// decodes from silence in the compiled template assemblies.
+std::vector<Value> matching_init_default();
 
 class MatchingBasePhase final : public PhaseProgram {
  public:

@@ -209,6 +209,8 @@ PhaseProgram::Status ColorToMisPhase::on_receive(NodeContext& ctx, Channel&) {
 // Factories.
 // ---------------------------------------------------------------------------
 
+std::vector<Value> mis_init_default() { return {0}; }
+
 PhaseFactory make_mis_base() {
   return [](NodeId) { return std::make_unique<MisBasePhase>(); };
 }

@@ -31,6 +31,12 @@ inline constexpr int kMisBaseRounds = 3;
 inline constexpr int kMisInitRounds = 3;
 inline constexpr int kMisCleanupRounds = 1;
 
+/// The init/base phases' step-0 broadcast from a node predicted out of the
+/// set ({0}) — the dominant payload under sparse predictions, and the
+/// default message the message-reduction pass (sim/compile.hpp) decodes
+/// from silence in the compiled template assemblies.
+std::vector<Value> mis_init_default();
+
 class MisBasePhase final : public PhaseProgram {
  public:
   void on_send(NodeContext& ctx, Channel& ch) override;

@@ -6,10 +6,29 @@
 
 #include "common/require.hpp"
 #include "graph/properties.hpp"
+#include "sim/compile.hpp"
 #include "sim/link_layer.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace dgap {
+
+namespace {
+
+/// Does (channel, payload) match the default the current node declared on
+/// its shard this round?
+bool matches_default(const detail::SendShard& sh, int channel,
+                     const Value* words, std::size_t count) {
+  if (!sh.default_active || sh.default_channel != channel ||
+      sh.default_len != count) {
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (sh.default_words[i] != words[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // NodeContext — thin accessor layer over Engine state.
@@ -77,6 +96,11 @@ void NodeContext::send(NodeId to, const Value* words, std::size_t count,
   r.len = static_cast<std::uint32_t>(count);
   r.offset = 0;
   r.words = nullptr;
+  r.flags = 0;
+  if (engine_->compile_defaults_ &&
+      matches_default(sh, channel, words, count)) {
+    r.flags = detail::SendRecord::kSuppressed;
+  }
   if (count <= detail::SendRecord::kInlineCap) {
     for (std::size_t i = 0; i < count; ++i) r.inline_words[i] = words[i];
   } else {
@@ -109,11 +133,38 @@ void NodeContext::broadcast(const Value* words, std::size_t count,
   r.len = static_cast<std::uint32_t>(count);
   r.offset = 0;
   r.words = nullptr;
+  r.flags = 0;
+  if (engine_->compile_defaults_ &&
+      matches_default(sh, channel, words, count)) {
+    r.flags = detail::SendRecord::kSuppressed;
+  }
   if (count <= detail::SendRecord::kInlineCap) {
     for (std::size_t i = 0; i < count; ++i) r.inline_words[i] = words[i];
   } else {
     // One arena copy of the payload, shared by every per-neighbor record.
     r.offset = sh.arena.append(words, count);
+  }
+  if (engine_->compile_skeleton_ != nullptr && sh.skeleton_relay) {
+    // Skeleton relay: the payload physically crosses only skeleton edges;
+    // records for the pruned edges are flagged kSkeletonDrop (charged as
+    // suppressed, never delivered — the wrapped program's receive logic is
+    // flood-idempotent by the opt-in contract, docs/MODEL.md). Walk the
+    // active-neighbor view against the full adjacency to recover each
+    // neighbor's CSR slot; both are ascending, so one merge pass suffices.
+    const Skeleton& sk = *engine_->compile_skeleton_;
+    const auto& nb = engine_->graph_.neighbors(index_);
+    const std::uint32_t base = sk.offset[static_cast<std::size_t>(index_)];
+    std::size_t j = 0;
+    for (NodeId u : an) {
+      while (nb[j] != u) ++j;
+      r.to = u;
+      r.flags &= static_cast<std::uint8_t>(~detail::SendRecord::kSkeletonDrop);
+      if (!sk.edge_in_skeleton[base + j]) {
+        r.flags |= detail::SendRecord::kSkeletonDrop;
+      }
+      sh.sends.push_back(r);
+    }
+    return;
   }
   for (NodeId u : an) {
     r.to = u;
@@ -127,6 +178,35 @@ void NodeContext::broadcast(const std::vector<Value>& words, int channel) {
 
 void NodeContext::broadcast(std::initializer_list<Value> words, int channel) {
   broadcast(words.begin(), words.size(), channel);
+}
+
+void NodeContext::declare_default(const Value* words, std::size_t count,
+                                  int channel) {
+  DGAP_REQUIRE(engine_->in_send_phase_,
+               "declare_default() is only valid in onSend");
+  DGAP_REQUIRE(count <= detail::SendRecord::kInlineCap,
+               "a default message holds at most SendRecord::kInlineCap words");
+  auto& sh = *shard_;
+  sh.default_active = true;
+  sh.default_channel = channel;
+  sh.default_len = static_cast<std::uint32_t>(count);
+  for (std::size_t i = 0; i < count; ++i) sh.default_words[i] = words[i];
+}
+
+void NodeContext::declare_default(const std::vector<Value>& words,
+                                  int channel) {
+  declare_default(words.data(), words.size(), channel);
+}
+
+void NodeContext::declare_default(std::initializer_list<Value> words,
+                                  int channel) {
+  declare_default(words.begin(), words.size(), channel);
+}
+
+void NodeContext::relay_on_skeleton() {
+  DGAP_REQUIRE(engine_->in_send_phase_,
+               "relay_on_skeleton() is only valid in onSend");
+  shard_->skeleton_relay = true;
 }
 
 std::span<const Message> NodeContext::inbox() const {
@@ -330,6 +410,24 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
     link_ = std::make_unique<detail::LinkLayer>(g, options_.congest_policy,
                                                 options_.congest_word_limit);
   }
+  // Message-reduction compilation (sim/compile.hpp). The knobs are cached
+  // as flat flags for the per-send / per-record checks; the per-directed-
+  // edge cache reuses the adjacency CSR, so slot lookup is adjacency_slot.
+  compile_cache_ = options_.compile.cache_resends;
+  compile_defaults_ = options_.compile.decode_defaults;
+  compile_skeleton_ = options_.compile.skeleton;
+  if (compile_skeleton_ != nullptr) {
+    DGAP_REQUIRE(compile_skeleton_->offset.size() == nu + 1 &&
+                     compile_skeleton_->edge_in_skeleton.size() == total_adj,
+                 "skeleton does not match the graph");
+  }
+  if (compile_cache_) {
+    s_.cache_state.assign(total_adj, 0);
+    s_.cache_channel.assign(total_adj, 0);
+    s_.cache_len.assign(total_adj, 0);
+    s_.cache_words.assign(total_adj * detail::SendRecord::kInlineCap, 0);
+    s_.cache_long.clear();  // lazily sized on the first long payload
+  }
   // Trace spine: the classic record_* options are a private rounds-level
   // sink; a user sink rides alongside. No sinks => no virtual calls.
   if (options_.record_active_per_round || options_.record_terminations) {
@@ -351,9 +449,7 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
 Engine::~Engine() = default;
 
 void Engine::charge(std::size_t payload_words, int channel) {
-  detail::CongestAccount acct;
-  acct.charge(payload_words, channel, options_.congest_word_limit);
-  acct.fold_into(metrics_);
+  acct_.charge(payload_words, channel, options_.congest_word_limit);
 }
 
 template <typename Body>
@@ -380,6 +476,8 @@ void Engine::send_phase() {
     for (std::size_t i = lo; i < hi; ++i) {
       const NodeId v = s_.awake_nodes[i];
       sh.last_channel = INT_MIN;
+      sh.default_active = false;   // declarations last one node-round
+      sh.skeleton_relay = false;
       NodeContext ctx(this, v, &sh);
       programs_[v]->on_send(ctx);
     }
@@ -423,7 +521,6 @@ void Engine::deliver_round_messages() {
   // and accumulates the metrics locally, folding them in once per round.
   bool channels_monotone = true;
   std::size_t arena_words = 0;
-  detail::CongestAccount acct;  // same accounting as charge()
   const int congest_limit = options_.congest_word_limit;
   const bool enforce = link_ != nullptr;
   s_.touched_receivers.clear();
@@ -436,7 +533,22 @@ void Engine::deliver_round_messages() {
     for (auto& r : sh.sends) {
       r.words = r.len <= detail::SendRecord::kInlineCap ? r.inline_words
                                                         : base + r.offset;
-      acct.charge(r.len, r.channel, congest_limit);
+      if (r.flags & detail::SendRecord::kSkeletonDrop) {
+        // A relayed broadcast's pruned copy: charged as suppressed (the
+        // nominal program sent it; the compiled wire did not) and never
+        // delivered. It bypasses the cache — the receiver's one-slot memory
+        // tracks delivered messages only.
+        acct_.charge(r.len, r.channel, congest_limit, /*suppressed=*/true);
+        continue;
+      }
+      // The per-edge cache runs in this serial loop only, so num_threads
+      // cannot influence hit patterns. It also absorbs default-suppressed
+      // records (the receiver's memory advances either way).
+      if (compile_cache_ && cache_check_and_update(r)) {
+        r.flags |= detail::SendRecord::kSuppressed;
+      }
+      acct_.charge(r.len, r.channel, congest_limit,
+                   (r.flags & detail::SendRecord::kSuppressed) != 0);
       // Under an enforcing policy the link layer decides what arrives this
       // round; the receiver counting below only feeds the fast-path scatter.
       if (!enforce && s_.node_active[r.to]) {
@@ -445,7 +557,6 @@ void Engine::deliver_round_messages() {
       }
     }
   }
-  acct.fold_into(metrics_);
   peak_arena_words_ = std::max(peak_arena_words_, arena_words);
 
   // The shard buffers are ordered by (sender, send order). The required
@@ -487,10 +598,12 @@ void Engine::deliver_round_messages() {
   }
   s_.inbox_flat.resize(delivered);
   for_each_send([&](const detail::SendRecord& r) {
+    if (r.flags & detail::SendRecord::kSkeletonDrop) return;
     if (!s_.node_active[r.to]) return;
     auto& ref = s_.inbox_ref[r.to];
     s_.inbox_flat[ref.begin + ref.count++] =
-        Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len)};
+        Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len),
+                false, (r.flags & detail::SendRecord::kSuppressed) != 0};
   });
 }
 
@@ -502,6 +615,15 @@ void Engine::deliver_enforced() {
   auto& link = *link_;
   link.begin_round(round_);
   for_each_send([&](const detail::SendRecord& r) {
+    if (r.flags & detail::SendRecord::kSkeletonDrop) return;
+    if (r.flags & detail::SendRecord::kSuppressed) {
+      // A suppressed message never crosses the wire, so it cannot be
+      // deferred, truncated, or charged against a link budget; it is
+      // synthesized at the receiver in its send round (the free lunch —
+      // compile_test pins the no-double-count property).
+      if (s_.node_active[r.to]) link.deliver_suppressed(r);
+      return;
+    }
     link.ingest(r, s_.node_active.data());
   });
   link.finish_round(s_.node_active.data());
@@ -525,8 +647,45 @@ void Engine::deliver_enforced() {
     auto& ref = s_.inbox_ref[d.to];
     s_.inbox_flat[ref.begin + ref.count++] =
         Message{d.from, static_cast<int>(d.channel), WordSpan(d.words, d.len),
-                d.truncated};
+                d.truncated, d.suppressed};
   }
+}
+
+bool Engine::cache_check_and_update(detail::SendRecord& r) {
+  // One cache slot per directed edge, addressed by the sender's adjacency
+  // CSR slot for the receiver — the receiver-memory model: "what was the
+  // last message delivered on this edge?". A hit means the receiver can
+  // reconstruct the payload from its own memory, so the re-send need not
+  // cross the wire.
+  const std::uint32_t slot = adjacency_slot(r.from, r.to);
+  DGAP_ASSERT(slot != UINT32_MAX, "send record addresses a non-neighbor");
+  constexpr std::uint32_t kCap = detail::SendRecord::kInlineCap;
+  const bool small = r.len <= kCap;
+  const std::uint8_t want_state = small ? 1 : 2;
+  bool hit = s_.cache_state[slot] == want_state &&
+             s_.cache_channel[slot] == r.channel && s_.cache_len[slot] == r.len;
+  if (hit) {
+    const Value* stored = small ? s_.cache_words.data() + slot * kCap
+                                : s_.cache_long[slot].data();
+    for (std::uint32_t i = 0; i < r.len && hit; ++i) {
+      hit = stored[i] == r.words[i];
+    }
+  }
+  if (hit) return true;
+  s_.cache_state[slot] = want_state;
+  s_.cache_channel[slot] = r.channel;
+  s_.cache_len[slot] = r.len;
+  if (small) {
+    for (std::uint32_t i = 0; i < r.len; ++i) {
+      s_.cache_words[slot * kCap + i] = r.words[i];
+    }
+  } else {
+    if (s_.cache_long.size() < s_.cache_state.size()) {
+      s_.cache_long.resize(s_.cache_state.size());
+    }
+    s_.cache_long[slot].assign(r.words, r.words + r.len);
+  }
+  return false;
 }
 
 const std::vector<NodeId>& Engine::collect_delivery_wakes() {
@@ -561,7 +720,7 @@ void Engine::trace_deliveries() {
     for (std::uint32_t i = 0; i < ref.count; ++i) {
       const Message& m = s_.inbox_flat[ref.begin + i];
       const TraceMessage tm{round_, m.from, to, m.channel, m.words,
-                            m.truncated};
+                            m.truncated, m.suppressed};
       for (TraceSink* sink : message_sinks_) sink->on_message(tm);
     }
   }
@@ -713,10 +872,7 @@ RunResult Engine::run() {
   for (NodeId v = 0; v < n; ++v) {
     materialize_edge_outputs(v, result.edge_outputs[v]);
   }
-  result.total_messages = metrics_.total_messages;
-  result.total_words = metrics_.total_words;
-  result.max_message_words = metrics_.max_message_words;
-  result.congest_violations = metrics_.congest_violations;
+  acct_.fold_into(result);
   if (link_) link_->export_metrics(result);
   if (record_sink_) {
     result.active_per_round = std::move(record_sink_->active_per_round);

@@ -17,6 +17,7 @@
 // per output value), so CONGEST accounting stays honest.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -58,16 +59,74 @@ enum class CongestPolicy {
 /// during this round's receive phase; copy words out to keep them.
 /// `truncated` is set only under CongestPolicy::kTruncate, on messages
 /// that lost words to the link budget.
+/// `suppressed` is set only under message-reduction compilation
+/// (EngineOptions::compile): the payload never crossed the wire — the
+/// receiver reconstructs it from silence (a declared default or its
+/// memory of the link's previous message) — but the engine synthesizes
+/// the delivery so program behavior is byte-identical to the uncompiled
+/// run. See docs/MODEL.md, "Message-reduction compilation".
 struct Message {
   NodeId from = kNoNode;  // sender's internal index
   int channel = 0;
   WordSpan words;
   bool truncated = false;
+  bool suppressed = false;
 };
 
 class Engine;
+struct RunResult;
 
 namespace detail {
+
+/// One message's width in words: the payload plus the channel-tag field
+/// (a nonzero channel models an extra field inside the message).
+inline int message_width(std::size_t payload_words, int channel) {
+  return static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
+}
+
+/// Message-metric accumulator shared by every accounting site — the serial
+/// notice charges, the fused delivery loop, and the link scheduler — so
+/// the CONGEST bookkeeping cannot drift between the paths. Serial,
+/// threaded, and batch executions all charge through one instance of this
+/// struct (the engine's member account), folded into the RunResult once
+/// per run.
+///
+/// `messages`/`words` are the *nominal* totals — what the uncompiled
+/// algorithm pays, suppressed traffic included — so compiling a run never
+/// changes them (the invariant sent + suppressed == nominal that
+/// bench_messages asserts). The `*_suppressed` counters split out traffic
+/// a message-reduction transform kept off the wire (sim/compile.hpp);
+/// width and violation audits skip suppressed messages, because silence
+/// occupies no link.
+struct CongestAccount {
+  std::int64_t messages = 0;  // nominal: sent + suppressed
+  std::int64_t words = 0;
+  std::int64_t messages_suppressed = 0;
+  std::int64_t words_suppressed = 0;
+  int max_width = 0;
+  std::int64_t violations = 0;
+
+  /// Charge one message. `word_limit` <= 0 disables violation counting;
+  /// `suppressed` messages are charged to the nominal totals but never to
+  /// the wire-side audits (width, violations).
+  void charge(std::size_t payload_words, int channel, int word_limit,
+              bool suppressed = false) {
+    ++messages;
+    const int width = message_width(payload_words, channel);
+    words += width;
+    if (suppressed) {
+      ++messages_suppressed;
+      words_suppressed += width;
+      return;
+    }
+    if (width > max_width) max_width = width;
+    if (word_limit > 0 && width > word_limit) ++violations;
+  }
+
+  /// Fold the accumulated counters into the run metrics (defined out of
+  /// line: RunResult is completed later in this header).
+  void fold_into(RunResult& m) const;
+};
 
 /// One queued send. Payloads of at most kInlineCap words — the common case
 /// for every algorithm in docs/ALGORITHMS.md — are stored inline in the
@@ -79,6 +138,13 @@ namespace detail {
 struct SendRecord {
   static constexpr std::uint32_t kInlineCap = 2;
 
+  // Compile-transform flags (EngineOptions::compile). kSuppressed: the
+  // payload stays off the wire but the delivery is synthesized (charged
+  // suppressed, still delivered). kSkeletonDrop: a relayed broadcast's
+  // copy on a non-skeleton edge — charged suppressed, never delivered.
+  static constexpr std::uint8_t kSuppressed = 1;
+  static constexpr std::uint8_t kSkeletonDrop = 2;
+
   NodeId to;
   NodeId from;
   std::int32_t channel;
@@ -86,6 +152,7 @@ struct SendRecord {
   std::uint32_t offset;         // arena offset; unused when len <= kInlineCap
   const Value* words;           // resolved after the send phase
   Value inline_words[kInlineCap];
+  std::uint8_t flags;
 };
 
 /// Outgoing traffic of one contiguous slice of the awake worklist. Serial
@@ -97,6 +164,14 @@ struct SendShard {
   bool channels_monotone = true;  // every sender's channels non-decreasing?
   int last_channel = 0;           // channel of the current node's last send
   bool any_idle = false;          // some node on this slice called idle()
+  // declare_default / relay_on_skeleton state of the node currently in its
+  // on_send hook (reset per node, like last_channel). Shard-local, so the
+  // parallel send phase needs no shared state.
+  bool default_active = false;
+  bool skeleton_relay = false;
+  std::int32_t default_channel = 0;
+  std::uint32_t default_len = 0;
+  Value default_words[SendRecord::kInlineCap];
 };
 
 /// Inbox of one node = a slice of the flat round buffer, valid for one
@@ -154,6 +229,19 @@ struct EngineScratch {
   std::vector<detail::InboxRef> inbox_ref;  // per node, stamped by round
   std::vector<std::uint32_t> recv_count;  // scratch; all-zero between rounds
   std::vector<NodeId> touched_receivers;  // receivers seen this round
+  // --- message-reduction compiler state (EngineOptions::compile), SoA per
+  // directed edge, addressed by the CSR adjacency slot of (from, to). The
+  // cache models the receiver's one-slot memory of the link's previous
+  // message: (channel, len, payload). Payloads up to SendRecord::kInlineCap
+  // words — the common case — live in the flat cache_words pool; longer
+  // ones fall back to the per-edge vector store. Only allocated when
+  // compile.cache_resends is on; all mutation happens in the engine's
+  // serial delivery loop, so num_threads cannot influence hits.
+  std::vector<std::uint8_t> cache_state;      // 0 empty, 1 short, 2 long
+  std::vector<std::int32_t> cache_channel;
+  std::vector<std::uint32_t> cache_len;
+  std::vector<Value> cache_words;             // kInlineCap slots per edge
+  std::vector<std::vector<Value>> cache_long;  // lazily sized on first use
 };
 
 /// Per-node view handed to programs each round. All queries reflect the
@@ -204,6 +292,32 @@ class NodeContext {
   void broadcast(const Value* words, std::size_t count, int channel = 0);
   void broadcast(const std::vector<Value>& words, int channel = 0);
   void broadcast(std::initializer_list<Value> words, int channel = 0);
+
+  /// Declare this round's default message on `channel` (the
+  /// silence-as-information transform, sim/compile.hpp): a send this round
+  /// whose (channel, payload) equals the declaration is suppressed — the
+  /// words stay off the wire, the receiver decodes them from the absence —
+  /// when the engine runs with EngineOptions::compile.decode_defaults;
+  /// otherwise the declaration is inert, so the same program serves both
+  /// the compiled and the uncompiled run. Only valid in onSend, before the
+  /// sends it should cover; at most SendRecord::kInlineCap words. The
+  /// declaring program is responsible for soundness: every receiver must
+  /// know the declaration (same program, same round of a lockstep
+  /// schedule) — see docs/MODEL.md, "Message-reduction compilation".
+  void declare_default(const Value* words, std::size_t count, int channel = 0);
+  void declare_default(const std::vector<Value>& words, int channel = 0);
+  void declare_default(std::initializer_list<Value> words, int channel = 0);
+
+  /// Declare this round's broadcasts flood-idempotent (the sparse-skeleton
+  /// transform): when the engine runs with a compile.skeleton installed,
+  /// broadcasts from this node are relayed only over skeleton edges; the
+  /// copies on non-skeleton edges are charged as suppressed and NOT
+  /// delivered. Unlike the other transforms this changes inboxes, so it is
+  /// sound only for stages whose outputs and (schedule-bound) round counts
+  /// are invariant under delayed information — e.g. flooding an extremum
+  /// for a fixed number of rounds. Only valid in onSend. Inert without an
+  /// installed skeleton.
+  void relay_on_skeleton();
 
   /// Messages received this round, ordered by (sender, channel, send
   /// order). Only meaningful in onReceive; the underlying storage is
@@ -273,6 +387,34 @@ class NodeProgram {
 using ProgramFactory =
     std::function<std::unique_ptr<NodeProgram>(NodeId index)>;
 
+struct Skeleton;  // deterministic spanning skeleton (sim/compile.hpp)
+
+/// Knobs of the message-reduction compiler pass (sim/compile.hpp; docs/
+/// MODEL.md "Message-reduction compilation"). All default off — the
+/// uncompiled engine is untouched. The transforms change what crosses the
+/// wire (RunResult::messages_sent vs messages_suppressed), never the
+/// nominal totals, and — skeleton relay aside — never program behavior:
+/// suppressed messages are still delivered (synthesized at the receiver),
+/// so outputs, rounds, and kRounds transcripts are byte-identical to the
+/// uncompiled run by construction.
+struct CompileOptions {
+  /// (1) Neighborhood caching: suppress a send whose (channel, payload)
+  /// repeats the previous message on the same directed edge — the
+  /// receiver's one-slot memory of the link reconstructs it.
+  bool cache_resends = false;
+  /// (2) Silence-as-information: suppress sends matching the default the
+  /// program declared this round (NodeContext::declare_default).
+  bool decode_defaults = false;
+  /// (3) Sparse skeleton for broadcasts a program declares relayable
+  /// (NodeContext::relay_on_skeleton): copies on non-skeleton edges are
+  /// suppressed and not delivered. Borrowed; must outlive run().
+  const Skeleton* skeleton = nullptr;
+
+  bool any() const {
+    return cache_resends || decode_defaults || skeleton != nullptr;
+  }
+};
+
 struct EngineOptions {
   /// Hard stop; a run that hits it is reported with completed = false.
   int max_rounds = 1'000'000;
@@ -301,6 +443,8 @@ struct EngineOptions {
   /// Results are bit-identical to the serial run regardless of the value —
   /// see docs/MODEL.md "Simulator internals & performance model".
   int num_threads = 1;
+  /// Message-reduction compilation (see CompileOptions above).
+  CompileOptions compile;
 };
 
 struct RunResult {
@@ -309,8 +453,23 @@ struct RunResult {
   std::vector<int> termination_round;    // per node, 1-based; -1 if never
   std::vector<Value> outputs;            // key-0 outputs (kUndefined if unset)
   std::vector<std::vector<std::pair<NodeId, Value>>> edge_outputs;
+  /// Nominal message complexity: every message the program logically sent,
+  /// suppressed traffic included. Invariant under compilation — compiled
+  /// and uncompiled runs of the same job report identical totals
+  /// (total == sent + suppressed; bench_messages asserts it per row).
   std::int64_t total_messages = 0;
   std::int64_t total_words = 0;
+  // --- message-reduction accounting (sim/compile.hpp) ---
+  /// Physical wire traffic: messages whose words actually crossed a link.
+  /// With compilation off, sent == total and suppressed == 0.
+  std::int64_t messages_sent = 0;
+  std::int64_t words_sent = 0;
+  /// Traffic a compile transform kept off the wire (the receiver
+  /// reconstructs it from silence).
+  std::int64_t messages_suppressed = 0;
+  std::int64_t words_suppressed = 0;
+  /// Wire-side audits: suppressed messages never contribute (silence
+  /// occupies no link).
   int max_message_words = 0;
   std::int64_t congest_violations = 0;
   // --- link-layer enforcement metrics (all zero under kCount) ---
@@ -338,6 +497,19 @@ struct RunResult {
   /// Plateaus once the arena reaches steady state (no per-round allocation).
   std::int64_t peak_arena_bytes = 0;
 };
+
+namespace detail {
+inline void CongestAccount::fold_into(RunResult& m) const {
+  m.total_messages += messages;
+  m.total_words += words;
+  m.messages_suppressed += messages_suppressed;
+  m.words_suppressed += words_suppressed;
+  m.messages_sent += messages - messages_suppressed;
+  m.words_sent += words - words_suppressed;
+  m.max_message_words = std::max(m.max_message_words, max_width);
+  m.congest_violations += violations;
+}
+}  // namespace detail
 
 class ThreadPool;
 
@@ -384,6 +556,10 @@ class Engine {
   void process_terminations(const std::vector<NodeId>& recv,
                             std::vector<int>& termination_round);
   void charge(std::size_t payload_words, int channel);
+  /// Neighborhood-cache lookup/update for one resolved record (serial
+  /// delivery loop only). Returns true when the record repeats the edge's
+  /// previous message — the caller marks it suppressed.
+  bool cache_check_and_update(detail::SendRecord& r);
   /// Emit this round's delivered messages (the freshly scattered inbox
   /// slices) to the sinks. Only called when a sink wants message detail.
   void trace_deliveries();
@@ -407,7 +583,15 @@ class Engine {
   int round_ = 0;
   bool in_send_phase_ = false;
   NodeId active_count_ = 0;
-  RunResult metrics_;  // message counters accumulated here during the run
+  // The run's single message account: the serial delivery loop, the
+  // termination-notice charges, and (via the policies) the link layer all
+  // charge here; folded into the RunResult once, at the end of run(). One
+  // path for serial, threaded, and batch execution.
+  detail::CongestAccount acct_;
+  // Compile knobs cached as flat flags (checked per send / per record).
+  bool compile_cache_ = false;
+  bool compile_defaults_ = false;
+  const Skeleton* compile_skeleton_ = nullptr;
   // Lazy edge-output pool handshake: readers that see `false` short-circuit
   // to kUndefined; the release store publishes the initialized pool.
   std::atomic<bool> edge_out_ready_{false};

@@ -56,6 +56,17 @@ void LinkLayer::deliver(NodeId to, NodeId from, std::int32_t channel,
   deliveries_.push_back({to, from, channel, len, words, truncated});
 }
 
+void LinkLayer::deliver_suppressed(const SendRecord& r) {
+  // Synthesized delivery: no link budget is consumed, no queue entry is
+  // created, nothing can be deferred or truncated. Arrives in its send
+  // round, before any link-transmitted traffic of the round (the engine
+  // ingests sends in canonical order, so these keep ascending-sender order
+  // among themselves). The record's payload pointer stays valid through the
+  // receive phase (it points into the frozen shard arenas).
+  deliveries_.push_back(
+      {r.to, r.from, r.channel, r.len, r.words, false, /*suppressed=*/true});
+}
+
 void LinkLayer::ingest(const SendRecord& r, const std::uint8_t* node_active) {
   const std::size_t link = link_index(r.from, r.to);
   const auto width =

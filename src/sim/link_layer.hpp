@@ -36,38 +36,9 @@
 
 namespace dgap::detail {
 
-/// One message's width in words: the payload plus the channel-tag field
-/// (a nonzero channel models an extra field inside the message).
-inline int message_width(std::size_t payload_words, int channel) {
-  return static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
-}
-
-/// Message-metric accumulator shared by every accounting site — the serial
-/// notice charges, the fused delivery loop, and the link scheduler — so
-/// the CONGEST bookkeeping cannot drift between the paths.
-struct CongestAccount {
-  std::int64_t messages = 0;
-  std::int64_t words = 0;
-  int max_width = 0;
-  std::int64_t violations = 0;
-
-  /// Charge one message. `word_limit` <= 0 disables violation counting.
-  void charge(std::size_t payload_words, int channel, int word_limit) {
-    ++messages;
-    const int width = message_width(payload_words, channel);
-    words += width;
-    if (width > max_width) max_width = width;
-    if (word_limit > 0 && width > word_limit) ++violations;
-  }
-
-  /// Fold the accumulated counters into the run metrics.
-  void fold_into(RunResult& m) const {
-    m.total_messages += messages;
-    m.total_words += words;
-    m.max_message_words = std::max(m.max_message_words, max_width);
-    m.congest_violations += violations;
-  }
-};
+// message_width / CongestAccount — the shared accounting primitives — live
+// in sim/engine.hpp (the engine owns the run's single account; every
+// accounting site, this link layer included, charges through it).
 
 /// A message the link layer cleared for delivery this round. `words` stays
 /// valid through the round's receive phase (it points into either the
@@ -79,6 +50,7 @@ struct DeliveredMessage {
   std::uint32_t len = 0;
   const Value* words = nullptr;
   bool truncated = false;
+  bool suppressed = false;  // synthesized delivery; never crossed the link
 };
 
 /// Deterministic per-directed-edge bandwidth scheduler. One instance per
@@ -95,6 +67,13 @@ class LinkLayer {
   /// Feed one fresh send (canonical order). kTruncate / kFail resolve it
   /// immediately; kDefer queues it on its link.
   void ingest(const SendRecord& r, const std::uint8_t* node_active);
+
+  /// Deliver a compile-suppressed message in its send round without
+  /// touching any link budget: its words never cross the wire, so it can
+  /// neither be deferred, truncated, nor fail the budget contract (the
+  /// no-double-count property compile_test pins). The caller has already
+  /// filtered terminated receivers.
+  void deliver_suppressed(const SendRecord& r);
 
   /// Transmit queued traffic within each link's budget (kDefer only; a
   /// no-op for the other policies). Must run after every ingest() of the

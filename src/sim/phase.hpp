@@ -85,6 +85,21 @@ class Channel {
   void broadcast(std::initializer_list<Value> words) {
     ctx_->broadcast(words, id_);
   }
+  /// Declare this round's default message on this channel: a send or
+  /// broadcast with an identical payload may be suppressed off the wire by
+  /// the message-reduction pass (EngineOptions::compile.decode_defaults)
+  /// and synthesized at the receiver. Inert when the knob is off, so one
+  /// phase serves compiled and uncompiled runs. See sim/compile.hpp.
+  void declare_default(const std::vector<Value>& words) {
+    ctx_->declare_default(words, id_);
+  }
+  void declare_default(std::initializer_list<Value> words) {
+    ctx_->declare_default(words, id_);
+  }
+  /// Relay this node's broadcasts over the engine's spanning skeleton
+  /// (inert without EngineOptions::compile.skeleton). Opt in only for
+  /// flood-idempotent stages: pruned copies are dropped, not synthesized.
+  void relay_on_skeleton() { ctx_->relay_on_skeleton(); }
   /// Messages received this round on this channel (lazy, allocation-free).
   ChannelInbox inbox() const { return {ctx_->inbox(), id_}; }
   int id() const { return id_; }

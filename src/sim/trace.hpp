@@ -60,6 +60,10 @@ struct TraceMessage {
   int channel = 0;
   WordSpan words;
   bool truncated = false;
+  /// Synthesized by the message-reduction pass (sim/compile.hpp): the
+  /// payload never crossed the wire, but the receiver observed it all the
+  /// same, so it is part of the delivery stream.
+  bool suppressed = false;
 };
 
 /// Observer of one engine run. Hooks fire in run order:

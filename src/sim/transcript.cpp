@@ -247,7 +247,11 @@ void TranscriptWriter::on_message(const TraceMessage& m) {
   put_varint(out_, static_cast<std::uint64_t>(m.from));
   put_varint(out_, static_cast<std::uint64_t>(m.to));
   put_zigzag(out_, m.channel);
-  out_.push_back(m.truncated ? 1 : 0);
+  // Per-message flags byte: bit 0 truncated, bit 1 suppressed. The common
+  // (both clear) encoding is the byte 0 the pre-compile format wrote, so
+  // suppression-free files stay byte-identical under version 1.
+  out_.push_back(static_cast<std::uint8_t>((m.truncated ? 1 : 0) |
+                                           (m.suppressed ? 2 : 0)));
   put_varint(out_, m.words.size());
   if (detail_ == TraceDetail::kPayloads) {
     for (const Value w : m.words) put_zigzag(out_, w);
@@ -394,9 +398,10 @@ Transcript decode_transcript(std::span<const std::uint8_t> bytes) {
         DGAP_REQUIRE(channel >= -0x80000000LL && channel <= 0x7fffffffLL,
                      "transcript channel out of range");
         m.channel = static_cast<int>(channel);
-        const std::uint8_t truncated = r.byte();
-        DGAP_REQUIRE(truncated <= 1, "invalid transcript truncated flag");
-        m.truncated = truncated != 0;
+        const std::uint8_t flags = r.byte();
+        DGAP_REQUIRE(flags <= 3, "invalid transcript message flags");
+        m.truncated = (flags & 1) != 0;
+        m.suppressed = (flags & 2) != 0;
         m.len = static_cast<std::uint32_t>(r.small("message length"));
         if (t.detail == TraceDetail::kPayloads) {
           m.words.reserve(m.len);
@@ -478,7 +483,7 @@ std::vector<std::uint8_t> encode_transcript(const Transcript& t) {
         words = WordSpan(m.words.data(), m.words.size());
       }
       w.on_message({round.round, m.from, m.to, m.channel, words,
-                    m.truncated});
+                    m.truncated, m.suppressed});
     }
     for (const TranscriptTermination& term : round.terminations) {
       w.on_termination(round.round, term.node, term.output,
@@ -593,6 +598,7 @@ void VerifySink::on_message(const TraceMessage& m) {
               at + "channel " + std::to_string(m.channel) + " (recorded " +
                   std::to_string(rec.channel) + ")");
   DGAP_ASSERT(rec.truncated == m.truncated, at + "truncated flag differs");
+  DGAP_ASSERT(rec.suppressed == m.suppressed, at + "suppressed flag differs");
   DGAP_ASSERT(rec.len == m.words.size(),
               at + "width " + std::to_string(m.words.size()) +
                   " (recorded " + std::to_string(rec.len) + ")");
@@ -829,6 +835,8 @@ std::optional<TranscriptDivergence> round_diff(const TranscriptRound& x,
                 std::to_string(q.len) + ")";
       } else if (p.truncated != q.truncated) {
         what += "truncated flag";
+      } else if (p.suppressed != q.suppressed) {
+        what += "suppressed flag";
       } else {
         what += "payload";
       }

@@ -9,6 +9,7 @@
 #include "mis/congest_global.hpp"
 #include "mis/gather.hpp"
 #include "random/luby.hpp"
+#include "sim/compile.hpp"
 #include "tree/algorithms.hpp"
 #include "tree/gps.hpp"
 
@@ -66,7 +67,16 @@ TwoPartFactory gps_two_part_reference(const RootedTree& tree) {
 }  // namespace
 
 ProgramFactory mis_simple_greedy() {
-  return simple_template(make_mis_init(), make_greedy_mis());
+  // The init phase's prediction broadcast (step 0 only) overwhelmingly
+  // carries {0} under sparse predictions; declaring it lets the
+  // message-reduction pass (sim/compile.hpp) decode the common case from
+  // silence. Inert unless EngineOptions::compile.decode_defaults is set,
+  // so this single assembly serves compiled and uncompiled runs.
+  return simple_template(
+      compile_phase(make_mis_init(),
+                    {.default_words = mis_init_default(),
+                     .default_first_round_only = true}),
+      make_greedy_mis());
 }
 
 ProgramFactory mis_simple_luby(std::uint64_t seed) {

@@ -10,6 +10,7 @@
 #include "edgecoloring/linegraph.hpp"
 #include "matching/algorithms.hpp"
 #include "matching/from_edge_coloring.hpp"
+#include "sim/compile.hpp"
 
 namespace dgap {
 
@@ -168,7 +169,14 @@ int matching_reference_total_rounds(std::int64_t d, int delta) {
 // ---------------------------------------------------------------------------
 
 ProgramFactory matching_simple_greedy() {
-  return simple_template(make_matching_init(), make_greedy_matching());
+  // As in mis_simple_greedy: the init phase's step-0 broadcast from a node
+  // predicted unmatched is the declared default, decoded from silence when
+  // EngineOptions::compile.decode_defaults is on, inert otherwise.
+  return simple_template(
+      compile_phase(make_matching_init(),
+                    {.default_words = matching_init_default(),
+                     .default_first_round_only = true}),
+      make_greedy_matching());
 }
 
 ProgramFactory matching_consecutive_linegraph() {

@@ -217,17 +217,45 @@ int cmd_stats(const std::vector<std::string>& files) {
                 t.summary.rounds,
                 static_cast<long long>(t.summary.total_messages),
                 static_cast<long long>(t.summary.total_words));
-    // Walk the run with the replayer: per-round profile.
+    // Walk the run with the replayer: per-round profile. The suppressed
+    // split (message-reduction pass, sim/compile.hpp) answers wire-cost
+    // questions straight from the transcript — no rerun needed; columns
+    // appear only when the file actually records suppressed deliveries.
     ReplayEngine replay(t);
+    std::int64_t sup_messages = 0, sup_words = 0;
     while (replay.step()) {
-      std::int64_t words = 0;
-      for (const TranscriptMessage& m : replay.messages()) words += m.len;
+      std::int64_t words = 0, round_sup = 0, round_sup_words = 0;
+      for (const TranscriptMessage& m : replay.messages()) {
+        words += m.len;
+        if (m.suppressed) {
+          ++round_sup;
+          round_sup_words += m.len;
+        }
+      }
+      sup_messages += round_sup;
+      sup_words += round_sup_words;
       std::printf("  round %-4d   active %-5lld messages %-5zu words %-6lld "
-                  "terminated %zu\n",
+                  "terminated %zu",
                   replay.round(),
                   static_cast<long long>(replay.active_count()),
                   replay.messages().size(), static_cast<long long>(words),
                   replay.terminations().size());
+      if (round_sup > 0) {
+        std::printf("  sent %lld/%lld suppressed %lld/%lld",
+                    static_cast<long long>(
+                        static_cast<std::int64_t>(replay.messages().size()) -
+                        round_sup),
+                    static_cast<long long>(words - round_sup_words),
+                    static_cast<long long>(round_sup),
+                    static_cast<long long>(round_sup_words));
+      }
+      std::printf("\n");
+    }
+    if (sup_messages > 0) {
+      std::printf("  compiled     %lld messages / %lld words suppressed off "
+                  "the wire (totals above are nominal: sent + suppressed)\n",
+                  static_cast<long long>(sup_messages),
+                  static_cast<long long>(sup_words));
     }
   }
   return 0;
