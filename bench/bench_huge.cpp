@@ -20,6 +20,7 @@
 //   --n10m     adds the n = 10^7 greedy row (graph build dominates)
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -27,6 +28,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -75,18 +77,23 @@ std::vector<HugeCase> build_cases(bool smoke, bool n10m) {
   std::vector<HugeCase> cases;
   auto luby = [] { return luby_mis_algorithm(42); };
   auto greedy = [] { return greedy_mis_algorithm(); };
-  auto gnps = [](NodeId n) {
-    return [n] {
+  // Graph construction uses up to 4 builder threads; the block scheme
+  // makes the edge list byte-identical whatever this resolves to, so
+  // build_ms is the only column it can move.
+  const int bt = static_cast<int>(std::clamp(
+      std::thread::hardware_concurrency(), 1u, 4u));
+  auto gnps = [bt](NodeId n) {
+    return [n, bt] {
       Rng rng(9000 + n % 9973);
-      Graph g = make_gnp_sparse(n, 8.0 / n, rng);
+      Graph g = make_gnp_sparse(n, 8.0 / n, rng, bt);
       randomize_ids(g, rng);
       return g;
     };
   };
-  auto gnm = [](NodeId n) {
-    return [n] {
+  auto gnm = [bt](NodeId n) {
+    return [n, bt] {
       Rng rng(9100 + n % 9973);
-      Graph g = make_gnm(n, 4 * static_cast<std::int64_t>(n), rng);
+      Graph g = make_gnm(n, 4 * static_cast<std::int64_t>(n), rng, bt);
       randomize_ids(g, rng);
       return g;
     };

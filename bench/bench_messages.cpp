@@ -14,6 +14,8 @@
 // reduction floor from the artifact.
 #include "bench_util.hpp"
 
+#include <utility>
+
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "matching/algorithms.hpp"
@@ -40,9 +42,11 @@ struct Workload {
   std::string transforms;             // human/JSON label for the knobs
 };
 
-RunResult run_workload(const Workload& w, const CompileOptions& compile) {
+RunResult run_workload(const Workload& w, const CompileOptions& compile,
+                       int threads = 1) {
   EngineOptions opt;
   opt.compile = compile;
+  opt.num_threads = threads;
   if (w.pred != nullptr) {
     return run_with_predictions(*w.g, *w.pred, w.factory, opt);
   }
@@ -118,6 +122,10 @@ bool sweep(bool json) {
   for (const Workload& w : workloads) {
     const RunResult base = run_workload(w, CompileOptions{});
     const RunResult compiled = run_workload(w, w.compile);
+    // The same compiled job sharded over 4 delivery threads: the resend
+    // cache is keyed to receiver-shard ownership, so every counter of the
+    // suppression split must come out exactly equal to the serial run's.
+    const RunResult compiled4 = run_workload(w, w.compile, 4);
 
     const auto fail = [&](const std::string& what) {
       std::printf("ERROR: %s/%s (%s): %s\n", w.name.c_str(), w.graph.c_str(),
@@ -145,6 +153,14 @@ bool sweep(bool json) {
     if (base.messages_suppressed != 0 || base.words_suppressed != 0) {
       fail("knobs-off run suppressed messages");
     }
+    if (compiled4.rounds != compiled.rounds ||
+        compiled4.outputs != compiled.outputs ||
+        compiled4.words_sent != compiled.words_sent ||
+        compiled4.messages_sent != compiled.messages_sent ||
+        compiled4.words_suppressed != compiled.words_suppressed ||
+        compiled4.messages_suppressed != compiled.messages_suppressed) {
+      fail("threads=4 compiled run diverged from serial");
+    }
 
     const double reduction =
         base.total_words == 0
@@ -157,22 +173,30 @@ bool sweep(bool json) {
                      fmt(compiled.rounds), fmt(compiled.total_words),
                      fmt(compiled.words_sent),
                      fmt(compiled.words_suppressed), fmt(reduction)});
-    out.begin_record();
-    out.field("workload", w.name);
-    out.field("graph", w.graph);
-    out.field("transforms", w.transforms);
-    out.field("n", static_cast<std::int64_t>(w.g->num_nodes()));
-    out.field("rounds", compiled.rounds);
-    out.field("rounds_uncompiled", base.rounds);
-    out.field("messages", base.total_messages);
-    out.field("words", base.total_words);
-    out.field("messages_sent", compiled.messages_sent);
-    out.field("words_sent", compiled.words_sent);
-    out.field("messages_suppressed", compiled.messages_suppressed);
-    out.field("words_suppressed", compiled.words_suppressed);
-    out.field("reduction_pct", reduction);
-    out.field("outputs_identical", static_cast<std::int64_t>(
-                                       compiled.outputs == base.outputs));
+    // One JSON row per (workload, thread count); CI re-asserts the
+    // accounting identities over every row, so the threads-4 rows extend
+    // the gate to the receiver-sharded parallel delivery path.
+    for (const auto& [threads, run] :
+         {std::pair<int, const RunResult*>{1, &compiled},
+          std::pair<int, const RunResult*>{4, &compiled4}}) {
+      out.begin_record();
+      out.field("workload", w.name);
+      out.field("graph", w.graph);
+      out.field("transforms", w.transforms);
+      out.field("threads", threads);
+      out.field("n", static_cast<std::int64_t>(w.g->num_nodes()));
+      out.field("rounds", run->rounds);
+      out.field("rounds_uncompiled", base.rounds);
+      out.field("messages", base.total_messages);
+      out.field("words", base.total_words);
+      out.field("messages_sent", run->messages_sent);
+      out.field("words_sent", run->words_sent);
+      out.field("messages_suppressed", run->messages_suppressed);
+      out.field("words_suppressed", run->words_suppressed);
+      out.field("reduction_pct", reduction);
+      out.field("outputs_identical", static_cast<std::int64_t>(
+                                         run->outputs == base.outputs));
+    }
   }
   if (rows_over_30 < 2) {
     std::printf("ERROR: only %d rows reached a 30%% word reduction "
@@ -184,10 +208,10 @@ bool sweep(bool json) {
   return ok;
 }
 
-// Wall-clock cost of the pass itself: the cache lookup rides the serial
-// delivery loop, so the interesting number is overhead when nothing is
-// suppressible (greedy MIS, fresh payloads) vs savings when almost
-// everything is (flood_min).
+// Wall-clock cost of the pass itself: the cache lookup rides the delivery
+// walk (serial or receiver-sharded alike), so the interesting number is
+// overhead when nothing is suppressible (greedy MIS, fresh payloads) vs
+// savings when almost everything is (flood_min).
 void BM_CompiledFloodMin(benchmark::State& state) {
   Rng rng(3);
   Graph g = make_random_connected(static_cast<NodeId>(state.range(0)),

@@ -90,6 +90,21 @@ inline std::int64_t total_words_suppressed(
   return total;
 }
 
+// Phase-profile reductions. Runs made with EngineOptions::profile_phases
+// carry per-stage wall-ns in RunResult::phase_ns; benches sum them over a
+// sweep and print milliseconds next to the wall_ms column so a regression
+// names the pipeline stage that moved.
+
+inline PhaseProfile total_phase_ns(std::span<const RunResult> results) {
+  PhaseProfile total;
+  for (const RunResult& r : results) total.accumulate(r.phase_ns);
+  return total;
+}
+
+inline double phase_ms(std::int64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
 /// Worker count for converted sweeps: saturate a small machine without
 /// oversubscribing a single-core one.
 inline int default_batch_workers() {

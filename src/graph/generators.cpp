@@ -1,11 +1,14 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -118,8 +121,48 @@ Graph make_gnp(NodeId n, double p, Rng& rng) {
   return g;
 }
 
-Graph make_gnp_sparse(NodeId n, double p, Rng& rng) {
+namespace {
+
+/// Run `work(b)` for every block b in [0, blocks), spreading blocks over
+/// at most `num_threads` std::threads claimed from a shared counter. Block
+/// outputs must be stored per block — the caller merges them in block
+/// order, so which thread computed a block never matters.
+template <typename Work>
+void for_each_block(std::int64_t blocks, int num_threads, const Work& work) {
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(blocks, std::max(num_threads, 1)));
+  if (workers <= 1) {
+    for (std::int64_t b = 0; b < blocks; ++b) work(b);
+    return;
+  }
+  std::atomic<std::int64_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  const auto loop = [&] {
+    for (;;) {
+      const std::int64_t b = next.fetch_add(1);
+      if (b >= blocks) return;
+      work(b);
+    }
+  };
+  for (int t = 1; t < workers; ++t) pool.emplace_back(loop);
+  loop();
+  for (auto& th : pool) th.join();
+}
+
+/// Block count for the parallel random-graph builders: a pure function of
+/// the instance size (NEVER of num_threads — the block structure defines
+/// the output, so it must not change with the host), roughly one block per
+/// 8k units of work, capped at 64.
+std::int64_t generator_blocks(std::int64_t size) {
+  return std::clamp<std::int64_t>(size / 8192, 1, 64);
+}
+
+}  // namespace
+
+Graph make_gnp_sparse(NodeId n, double p, Rng& rng, int num_threads) {
   DGAP_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  DGAP_REQUIRE(num_threads >= 1, "num_threads must be >= 1");
   Graph g(n);
   if (n < 2 || p <= 0.0) return g;
   // Batagelj–Brandes geometric skipping: enumerate the pairs (v, w),
@@ -127,46 +170,124 @@ Graph make_gnp_sparse(NodeId n, double p, Rng& rng) {
   // present edge. One rng draw per edge (plus the final overshoot), so
   // generation is O(n + m) expected instead of O(n^2). For p = 1 the log
   // ratio is finite/−inf = 0 and every pair is emitted.
-  const double denom = std::log1p(-p);  // log(1-p) < 0
-  NodeId v = 1;
-  std::int64_t w = -1;  // 64-bit: a single skip can overshoot past v
-  while (v < n) {
-    const double r = rng.uniform01();  // in [0, 1): log1p(-r) is finite
-    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / denom));
-    while (w >= v && v < n) {
-      w -= v;
-      ++v;
+  //
+  // The pair sequence is cut into fixed row-range blocks of roughly equal
+  // pair count (boundaries a pure function of n), each restarted from its
+  // own seed — drawn serially here, so the parent rng advances the same
+  // way for every thread count. Geometric gaps are memoryless, so a
+  // restart at a block boundary samples the same distribution as the
+  // straight-through scan; merging the per-block edge lists in block order
+  // keeps the lexicographic emit order of the serial scan.
+  const std::int64_t total_pairs =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  const std::int64_t blocks = generator_blocks(total_pairs);
+  std::vector<NodeId> row_hi(static_cast<std::size_t>(blocks));
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    // Smallest row v with v(v-1)/2 >= total_pairs * (b+1) / blocks.
+    const std::int64_t target = total_pairs / blocks * (b + 1) +
+                                total_pairs % blocks * (b + 1) / blocks;
+    NodeId lo = 1, hi = n;
+    while (lo < hi) {
+      const NodeId mid = lo + (hi - lo) / 2;
+      if (static_cast<std::int64_t>(mid) * (mid - 1) / 2 >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
     }
-    if (v < n) g.add_edge(v, static_cast<NodeId>(w));
+    row_hi[static_cast<std::size_t>(b)] = b + 1 == blocks ? n : lo;
+  }
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(blocks));
+  for (auto& s : seeds) s = rng.next();
+  const double denom = std::log1p(-p);  // log(1-p) < 0
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> block_edges(
+      static_cast<std::size_t>(blocks));
+  for_each_block(blocks, num_threads, [&](std::int64_t b) {
+    const std::size_t bu = static_cast<std::size_t>(b);
+    Rng block_rng(seeds[bu]);
+    auto& out = block_edges[bu];
+    NodeId v = std::max<NodeId>(b == 0 ? 1 : row_hi[bu - 1], 1);
+    const NodeId end = row_hi[bu];
+    std::int64_t w = -1;  // 64-bit: a single skip can overshoot past v
+    while (v < end) {
+      const double r = block_rng.uniform01();  // [0, 1): log1p(-r) finite
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / denom));
+      while (w >= v && v < end) {
+        w -= v;
+        ++v;
+      }
+      if (v < end) out.emplace_back(v, static_cast<NodeId>(w));
+    }
+  });
+  for (const auto& edges : block_edges) {
+    for (const auto& [v, w] : edges) g.add_edge(v, w);
   }
   return g;
 }
 
-Graph make_gnm(NodeId n, std::int64_t m, Rng& rng) {
+Graph make_gnm(NodeId n, std::int64_t m, Rng& rng, int num_threads) {
   const std::int64_t pairs =
       static_cast<std::int64_t>(n) * (n - 1) / 2;
   DGAP_REQUIRE(m >= 0 && m <= pairs, "edge count out of range");
+  DGAP_REQUIRE(num_threads >= 1, "num_threads must be >= 1");
   Graph g(n);
+  if (m == 0) return g;
   // Rejection sampling over the pair space, deduplicated by a packed key.
   // Expected draws m / (1 - m/pairs): O(m) while m is well below pairs/2
   // (the sparse regime this generator exists for).
+  //
+  // The stream is cut into fixed quota blocks (a pure function of m), each
+  // rejection-sampling its quota of locally-distinct pairs from its own
+  // serially-drawn seed. The serial merge walks the blocks in order,
+  // keeping each pair's first occurrence; cross-block duplicates leave a
+  // shortfall that a serial top-up stream (its seed drawn after the block
+  // seeds) fills, so the graph has exactly m edges and is identical for
+  // every num_threads.
+  const std::int64_t blocks = generator_blocks(m);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(blocks));
+  for (auto& s : seeds) s = rng.next();
+  Rng topup_rng(rng.next());
+  const auto draw_key = [n](Rng& r) -> std::uint64_t {
+    for (;;) {
+      const NodeId u = static_cast<NodeId>(
+          r.next_below(static_cast<std::uint64_t>(n)));
+      const NodeId v = static_cast<NodeId>(
+          r.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      const NodeId lo = std::min(u, v), hi = std::max(u, v);
+      return static_cast<std::uint64_t>(lo) * static_cast<std::uint64_t>(n) +
+             static_cast<std::uint64_t>(hi);
+    }
+  };
+  std::vector<std::vector<std::uint64_t>> block_keys(
+      static_cast<std::size_t>(blocks));
+  for_each_block(blocks, num_threads, [&](std::int64_t b) {
+    const std::size_t bu = static_cast<std::size_t>(b);
+    const std::int64_t quota = m * (b + 1) / blocks - m * b / blocks;
+    Rng block_rng(seeds[bu]);
+    auto& keys = block_keys[bu];
+    keys.reserve(static_cast<std::size_t>(quota));
+    std::unordered_set<std::uint64_t> local;
+    local.reserve(static_cast<std::size_t>(quota) * 2);
+    while (static_cast<std::int64_t>(keys.size()) < quota) {
+      const std::uint64_t key = draw_key(block_rng);
+      if (local.insert(key).second) keys.push_back(key);
+    }
+  });
   std::unordered_set<std::uint64_t> chosen;
   chosen.reserve(static_cast<std::size_t>(m) * 2);
   std::int64_t added = 0;
-  while (added < m) {
-    const NodeId u = static_cast<NodeId>(
-        rng.next_below(static_cast<std::uint64_t>(n)));
-    const NodeId v = static_cast<NodeId>(
-        rng.next_below(static_cast<std::uint64_t>(n)));
-    if (u == v) continue;
-    const NodeId lo = std::min(u, v), hi = std::max(u, v);
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(lo) * static_cast<std::uint64_t>(n) +
-        static_cast<std::uint64_t>(hi);
-    if (!chosen.insert(key).second) continue;
+  const auto add_key = [&](std::uint64_t key) {
+    if (!chosen.insert(key).second) return;
+    const NodeId lo = static_cast<NodeId>(key / static_cast<std::uint64_t>(n));
+    const NodeId hi = static_cast<NodeId>(key % static_cast<std::uint64_t>(n));
     g.add_edge(lo, hi);
     ++added;
+  };
+  for (const auto& keys : block_keys) {
+    for (const std::uint64_t key : keys) add_key(key);
   }
+  while (added < m) add_key(draw_key(topup_rng));
   return g;
 }
 

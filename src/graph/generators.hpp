@@ -63,11 +63,24 @@ Graph make_gnp(NodeId n, double p, Rng& rng);
 /// seeds (the rng is consumed differently) — a new family, not a drop-in.
 /// Use for sparse p where make_gnp's quadratic scan is the bottleneck
 /// (p ~ c/n at n >= 10^5).
-Graph make_gnp_sparse(NodeId n, double p, Rng& rng);
+///
+/// Construction is decomposed into fixed row-range blocks (a pure function
+/// of n, never of num_threads), each generated from its own serially-drawn
+/// seed and merged in block order — geometric skipping is memoryless, so a
+/// per-block restart draws from the same distribution. `num_threads > 1`
+/// generates blocks concurrently; the edge list is byte-identical for
+/// every thread count (pinned by graph_test).
+Graph make_gnp_sparse(NodeId n, double p, Rng& rng, int num_threads = 1);
 
 /// Uniform random graph G(n, m): exactly m distinct edges, rejection-
 /// sampled. O(m) expected while m stays well below n(n-1)/4.
-Graph make_gnm(NodeId n, std::int64_t m, Rng& rng);
+///
+/// Same parallel scheme as make_gnp_sparse: fixed quota blocks (a pure
+/// function of m) rejection-sample from per-block seeds; the serial merge
+/// keeps each pair's first occurrence in block order and a serial top-up
+/// stream replaces cross-block duplicates, so the graph has exactly m
+/// edges and is byte-identical for every num_threads.
+Graph make_gnm(NodeId n, std::int64_t m, Rng& rng, int num_threads = 1);
 
 /// Uniform random tree on n nodes (random Prüfer sequence).
 Graph make_random_tree(NodeId n, Rng& rng);

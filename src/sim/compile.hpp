@@ -31,6 +31,17 @@
 // (sent + suppressed); the new `*_sent` / `*_suppressed` fields split the
 // physical wire cost out. Full semantics: docs/MODEL.md,
 // "Message-reduction compilation".
+//
+// Thread-invariance of the transforms: default suppression (2) and
+// skeleton pruning (3) are decided at send time from shard-local state, so
+// they are trivially independent of num_threads. The resend cache (1) is
+// stateful per directed edge; its slots are keyed to *receiver-shard
+// ownership* — the edge (from, to)'s cache line is touched only by the
+// shard owning `to`, which walks its records in ascending global send
+// order — so the per-edge hit/miss sequence (and with it the suppressed
+// split) is identical for every thread count, and compilation no longer
+// forces the engine onto a serial delivery loop. compile_test pins the
+// suppressed counters and transcripts across threads {1, 2, 4, 8}.
 #pragma once
 
 #include <memory>

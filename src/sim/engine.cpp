@@ -395,6 +395,41 @@ Engine::Engine(const Graph& g, const Predictions& predictions,
     sh.sends.clear();
     sh.channels_monotone = true;
     sh.any_idle = false;
+    sh.route_idx.clear();
+    sh.route_begin.clear();
+    sh.route_cursor.clear();
+    sh.any_long = false;
+  }
+  // Receiver-shard ownership: shard t owns [n*t/S, n*(t+1)/S) — the same
+  // slicing run_sharded uses, a pure function of (n, S). The per-node
+  // ownership map makes routing a table lookup; only built when a parallel
+  // delivery path can run.
+  DGAP_REQUIRE(options_.num_threads <= 65535, "num_threads out of range");
+  const std::size_t nshards = s_.shards.size();
+  s_.recv_shards.resize(nshards);
+  for (auto& rs : s_.recv_shards) {
+    rs.acct = detail::CongestAccount{};
+    rs.touched.clear();
+    rs.touched_first.clear();
+    rs.delivered = 0;
+    rs.region = 0;
+    rs.newly_terminated.clear();
+    rs.wake.clear();
+    rs.next_awake.clear();
+  }
+  s_.send_base.assign(nshards + 1, 0);
+  s_.merge_pos.assign(nshards, 0);
+  if (nshards > 1) {
+    s_.node_shard.resize(nu);
+    for (std::size_t t = 0; t < nshards; ++t) {
+      const std::size_t lo = nu * t / nshards;
+      const std::size_t hi = nu * (t + 1) / nshards;
+      std::fill(s_.node_shard.begin() + static_cast<std::ptrdiff_t>(lo),
+                s_.node_shard.begin() + static_cast<std::ptrdiff_t>(hi),
+                static_cast<std::uint16_t>(t));
+    }
+  } else {
+    s_.node_shard.clear();
   }
   if (options_.num_threads > 1) {
     if (shared_pool != nullptr) {
@@ -502,6 +537,23 @@ void Engine::for_each_send(const Fn& fn) const {
 }
 
 void Engine::deliver_round_messages() {
+  // Pick the delivery path. The parallel path requires a pool (more than
+  // one shard), the audit-only congest policy (an enforcing link layer is
+  // a serial scheduler by design), and monotone per-sender channels (the
+  // rare repair sort re-orders records globally, which the reference path
+  // handles). Everything the two paths publish — inbox slices, touched
+  // order, account totals, cache state — is bit-identical by construction;
+  // engine_determinism_test and compile_test pin it.
+  bool channels_monotone = true;
+  for (const auto& sh : s_.shards) channels_monotone &= sh.channels_monotone;
+  if (pool_ != nullptr && link_ == nullptr && channels_monotone) {
+    deliver_parallel();
+    return;
+  }
+  deliver_serial();
+}
+
+void Engine::deliver_serial() {
   // Freeze the per-shard arenas and resolve each record's payload pointer,
   // charging the message metrics in sender order. Small payloads (at most
   // SendRecord::kInlineCap words) live inline in the record itself, so
@@ -541,9 +593,11 @@ void Engine::deliver_round_messages() {
         acct_.charge(r.len, r.channel, congest_limit, /*suppressed=*/true);
         continue;
       }
-      // The per-edge cache runs in this serial loop only, so num_threads
-      // cannot influence hit patterns. It also absorbs default-suppressed
-      // records (the receiver's memory advances either way).
+      // The per-edge cache sees this edge's records in canonical order
+      // here, just as the parallel path's owning receiver shard does, so
+      // num_threads cannot influence hit patterns. It also absorbs
+      // default-suppressed records (the receiver's memory advances either
+      // way).
       if (compile_cache_ && cache_check_and_update(r)) {
         r.flags |= detail::SendRecord::kSuppressed;
       }
@@ -604,6 +658,176 @@ void Engine::deliver_round_messages() {
     s_.inbox_flat[ref.begin + ref.count++] =
         Message{r.from, static_cast<int>(r.channel), WordSpan(r.words, r.len),
                 false, (r.flags & detail::SendRecord::kSuppressed) != 0};
+  });
+}
+
+void Engine::deliver_parallel() {
+  // Receiver-sharded delivery: four passes with pool barriers between
+  // them, replacing deliver_serial's fused loop plus serial scatter.
+  //
+  //   A (parallel over sender shards)   freeze each arena, resolve payload
+  //     pointers, and route every record to the receiver shard owning its
+  //     `to` — a stable counting sort of record indices, so each bucket
+  //     preserves send order.
+  //   B (parallel over receiver shards) walk owned records in ascending
+  //     global send order (sender shards in index order; buckets are
+  //     in-order within a shard), running the compile cache, the per-shard
+  //     message account, and the inbox counting. Each node's recv_count
+  //     slot and each directed edge's cache line has exactly one writer.
+  //   C (serial, O(shards + receivers)) prefix-sum the per-shard inbox
+  //     regions, merge the accounts in fixed shard order, and merge the
+  //     per-shard first-touch lists into the global first-touch order.
+  //   D (parallel over receiver shards) assign each owned receiver's slice
+  //     inside this shard's region and scatter the owned records into it.
+  //
+  // Why the result is byte-identical to deliver_serial: (sender, channel,
+  // send order) within a slice holds because routing is stable and sender
+  // shards are visited in index order — within one receiver's slice the
+  // scatter sees records in exactly the serial global order (channels are
+  // monotone on this path, or we would not be here). The cache's hit/miss
+  // sequence per directed edge is the serial one because all of an edge's
+  // records meet in the one shard owning the receiver, still in global
+  // order. Account totals are order-independent reductions. And the trace
+  // spine's receiver order is recovered exactly in pass C: each shard's
+  // touched list ascends in the global index of the receiver's first
+  // record, so an S-way merge on those indices is the serial first-touch
+  // order. inbox_flat's internal layout does differ (shard regions instead
+  // of global first-touch order), but nothing observes the layout — every
+  // consumer goes through inbox_ref or touched_receivers.
+  const int congest_limit = options_.congest_word_limit;
+  const std::size_t S = s_.shards.size();
+
+  pool_->run([&](int k) {
+    auto& sh = s_.shards[static_cast<std::size_t>(k)];
+    sh.channels_monotone = true;
+    sh.any_long = false;
+    const Value* base = sh.arena.data();
+    sh.route_begin.assign(S + 1, 0);
+    for (auto& r : sh.sends) {
+      if (r.len <= detail::SendRecord::kInlineCap) {
+        r.words = r.inline_words;
+      } else {
+        r.words = base + r.offset;
+        sh.any_long = true;
+      }
+      ++sh.route_begin[s_.node_shard[r.to] + 1];
+    }
+    for (std::size_t t = 0; t < S; ++t) {
+      sh.route_begin[t + 1] += sh.route_begin[t];
+    }
+    sh.route_cursor.assign(sh.route_begin.begin(), sh.route_begin.end() - 1);
+    sh.route_idx.resize(sh.sends.size());
+    for (std::uint32_t i = 0; i < sh.sends.size(); ++i) {
+      sh.route_idx[sh.route_cursor[s_.node_shard[sh.sends[i].to]]++] = i;
+    }
+  });
+
+  // Serial inter-pass step: per-sender-shard global index bases, the arena
+  // high-water mark, and — when compiling — the long-payload store, sized
+  // here so pass B never resizes a shared vector concurrently.
+  std::size_t arena_words = 0;
+  bool any_long = false;
+  s_.send_base[0] = 0;
+  for (std::size_t k = 0; k < S; ++k) {
+    s_.send_base[k + 1] =
+        s_.send_base[k] + static_cast<std::uint32_t>(s_.shards[k].sends.size());
+    arena_words += s_.shards[k].arena.size();
+    any_long |= s_.shards[k].any_long;
+  }
+  peak_arena_words_ = std::max(peak_arena_words_, arena_words);
+  if (compile_cache_ && any_long &&
+      s_.cache_long.size() < s_.cache_state.size()) {
+    s_.cache_long.resize(s_.cache_state.size());
+  }
+  use_sorted_sends_ = false;
+
+  pool_->run([&](int t) {
+    const std::size_t tu = static_cast<std::size_t>(t);
+    auto& rs = s_.recv_shards[tu];
+    rs.acct = detail::CongestAccount{};
+    rs.touched.clear();
+    rs.touched_first.clear();
+    std::uint32_t delivered = 0;
+    for (std::size_t k = 0; k < S; ++k) {
+      auto& sh = s_.shards[k];
+      const std::uint32_t base_idx = s_.send_base[k];
+      const std::uint32_t je = sh.route_begin[tu + 1];
+      for (std::uint32_t j = sh.route_begin[tu]; j < je; ++j) {
+        const std::uint32_t idx = sh.route_idx[j];
+        auto& r = sh.sends[idx];
+        if (r.flags & detail::SendRecord::kSkeletonDrop) {
+          rs.acct.charge(r.len, r.channel, congest_limit, /*suppressed=*/true);
+          continue;
+        }
+        if (compile_cache_ && cache_check_and_update(r)) {
+          r.flags |= detail::SendRecord::kSuppressed;
+        }
+        rs.acct.charge(r.len, r.channel, congest_limit,
+                       (r.flags & detail::SendRecord::kSuppressed) != 0);
+        if (s_.node_active[r.to]) {
+          if (s_.recv_count[r.to]++ == 0) {
+            rs.touched.push_back(r.to);
+            rs.touched_first.push_back(base_idx + idx);
+          }
+          ++delivered;
+        }
+      }
+    }
+    rs.delivered = delivered;
+  });
+
+  std::uint32_t total = 0;
+  for (std::size_t t = 0; t < S; ++t) {
+    auto& rs = s_.recv_shards[t];
+    rs.region = total;
+    total += rs.delivered;
+    acct_.merge_from(rs.acct);
+  }
+  s_.inbox_flat.resize(total);
+  s_.touched_receivers.clear();
+  std::fill(s_.merge_pos.begin(), s_.merge_pos.end(), 0);
+  for (;;) {
+    std::size_t best = S;
+    std::uint32_t best_first = 0;
+    for (std::size_t t = 0; t < S; ++t) {
+      const auto& rs = s_.recv_shards[t];
+      const std::size_t pos = s_.merge_pos[t];
+      if (pos >= rs.touched_first.size()) continue;
+      const std::uint32_t f = rs.touched_first[pos];
+      if (best == S || f < best_first) {
+        best = t;
+        best_first = f;
+      }
+    }
+    if (best == S) break;
+    s_.touched_receivers.push_back(
+        s_.recv_shards[best].touched[s_.merge_pos[best]]);
+    ++s_.merge_pos[best];
+  }
+
+  pool_->run([&](int t) {
+    const std::size_t tu = static_cast<std::size_t>(t);
+    auto& rs = s_.recv_shards[tu];
+    std::uint32_t cursor = rs.region;
+    for (const NodeId to : rs.touched) {
+      s_.inbox_ref[to] = {cursor, 0, round_};
+      cursor += s_.recv_count[to];
+      s_.recv_count[to] = 0;  // restore the all-zero invariant for next round
+    }
+    for (std::size_t k = 0; k < S; ++k) {
+      auto& sh = s_.shards[k];
+      const std::uint32_t je = sh.route_begin[tu + 1];
+      for (std::uint32_t j = sh.route_begin[tu]; j < je; ++j) {
+        const auto& r = sh.sends[sh.route_idx[j]];
+        if (r.flags & detail::SendRecord::kSkeletonDrop) continue;
+        if (!s_.node_active[r.to]) continue;
+        auto& ref = s_.inbox_ref[r.to];
+        s_.inbox_flat[ref.begin + ref.count++] =
+            Message{r.from, static_cast<int>(r.channel),
+                    WordSpan(r.words, r.len), false,
+                    (r.flags & detail::SendRecord::kSuppressed) != 0};
+      }
+    }
   });
 }
 
@@ -747,6 +971,10 @@ void Engine::receive_phase(const std::vector<NodeId>& recv) {
 
 void Engine::process_terminations(const std::vector<NodeId>& recv,
                                   std::vector<int>& termination_round) {
+  if (pool_ != nullptr) {
+    process_terminations_parallel(recv, termination_round);
+    return;
+  }
   // Only nodes whose hooks ran this round can have requested termination,
   // and every such node is on the receive worklist (awake nodes plus
   // delivery-woken sleepers), so the sweep is O(recv), not O(n).
@@ -839,6 +1067,142 @@ void Engine::process_terminations(const std::vector<NodeId>& recv,
   std::swap(s_.awake_nodes, s_.next_awake);
 }
 
+void Engine::process_terminations_parallel(
+    const std::vector<NodeId>& recv, std::vector<int>& termination_round) {
+  // The serial sweep above, re-cut along receiver-shard ownership. Three
+  // pool passes:
+  //   T1 (over recv slices)      detect terminations. Slices of the
+  //       ascending worklist are contiguous, so concatenating the per-slot
+  //       lists in slot order is the serial ascending sweep; trace sinks
+  //       then fire serially over that list, in ascending node order as the
+  //       spine contract requires.
+  //   T2 (over receiver shards)  charge the Section 7 notices for owned
+  //       still-active neighbors into the shard's account, compact their
+  //       active-neighbor prefixes, void their idle promises, and wake
+  //       owned sleepers. Every shard scans the full terminated-node
+  //       adjacency but writes only owned nodes' slots; node_active is
+  //       frozen after T1, so cross-shard reads are safe.
+  //   T3 (over receiver shards)  rebuild the awake worklist: each shard
+  //       merges its owned sub-range of recv (a binary search — recv is
+  //       ascending) with its own woken sleepers (disjoint from recv: they
+  //       were asleep and received nothing). Ownership ranges are
+  //       contiguous and ascending, so concatenating per-shard segments in
+  //       shard order is the serial ascending rebuild.
+  const std::size_t S = s_.shards.size();
+  const int congest_limit = options_.congest_word_limit;
+  run_sharded(recv.size(), [&](int s, std::size_t lo, std::size_t hi) {
+    auto& rs = s_.recv_shards[static_cast<std::size_t>(s)];
+    rs.newly_terminated.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = recv[i];
+      if (!s_.terminate_flag[v]) continue;
+      s_.node_active[v] = 0;
+      termination_round[v] = round_;
+      rs.newly_terminated.push_back(v);
+    }
+  });
+  s_.newly_terminated.clear();
+  for (const auto& rs : s_.recv_shards) {
+    s_.newly_terminated.insert(s_.newly_terminated.end(),
+                               rs.newly_terminated.begin(),
+                               rs.newly_terminated.end());
+  }
+  active_count_ -= static_cast<NodeId>(s_.newly_terminated.size());
+  if (!sinks_.empty()) {
+    for (const NodeId v : s_.newly_terminated) {
+      materialize_edge_outputs(v, term_edge_outputs_);
+      for (TraceSink* sink : sinks_) {
+        sink->on_termination(round_, v, s_.node_output[v], term_edge_outputs_);
+      }
+    }
+  }
+  bool any_idle = false;
+  for (const auto& sh : s_.shards) any_idle |= sh.any_idle;
+  if (s_.newly_terminated.empty() && !any_idle && s_.woken.empty()) return;
+
+  if (!s_.newly_terminated.empty()) {
+    pool_->run([&](int t) {
+      const std::size_t tu = static_cast<std::size_t>(t);
+      auto& rs = s_.recv_shards[tu];
+      rs.acct = detail::CongestAccount{};
+      rs.touched.clear();
+      rs.wake.clear();
+      const std::uint16_t self = static_cast<std::uint16_t>(t);
+      for (const NodeId v : s_.newly_terminated) {
+        const std::size_t notice_words = 1 + edge_output_count(v);
+        for (NodeId u : graph_.neighbors(v)) {
+          if (s_.node_shard[u] != self || !s_.node_active[u]) continue;
+          rs.acct.charge(notice_words, /*channel=*/0, congest_limit);
+          if (s_.recv_count[u]++ == 0) rs.touched.push_back(u);
+        }
+      }
+      for (const NodeId u : rs.touched) {
+        s_.recv_count[u] = 0;
+        NodeId* live = s_.an_pool.data() + s_.an_begin[u];
+        const std::uint32_t count = s_.an_count[u];
+        std::uint32_t w = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const NodeId x = live[i];
+          if (s_.node_active[x]) live[w++] = x;
+        }
+        s_.an_count[u] = w;
+        s_.idle_request[u] = 0;
+        if (!s_.node_awake[u]) {
+          s_.node_awake[u] = 1;
+          rs.wake.push_back(u);
+        }
+      }
+      std::sort(rs.wake.begin(), rs.wake.end());
+    });
+    for (std::size_t t = 0; t < S; ++t) {
+      acct_.merge_from(s_.recv_shards[t].acct);
+    }
+  } else {
+    for (auto& rs : s_.recv_shards) rs.wake.clear();
+  }
+
+  const std::size_t nu = static_cast<std::size_t>(graph_.num_nodes());
+  pool_->run([&](int t) {
+    const std::size_t tu = static_cast<std::size_t>(t);
+    auto& rs = s_.recv_shards[tu];
+    rs.next_awake.clear();
+    const NodeId lo = static_cast<NodeId>(nu * tu / S);
+    const NodeId hi = static_cast<NodeId>(nu * (tu + 1) / S);
+    std::size_t ri = static_cast<std::size_t>(
+        std::lower_bound(recv.begin(), recv.end(), lo) - recv.begin());
+    const std::size_t rn = static_cast<std::size_t>(
+        std::lower_bound(recv.begin(), recv.end(), hi) - recv.begin());
+    std::size_t wi = 0;
+    const std::size_t wn = rs.wake.size();
+    while (ri < rn || wi < wn) {
+      NodeId v;
+      if (wi >= wn || (ri < rn && recv[ri] < rs.wake[wi])) {
+        v = recv[ri++];
+      } else {
+        v = rs.wake[wi++];
+      }
+      if (!s_.node_active[v]) {
+        s_.node_awake[v] = 0;
+        s_.idle_request[v] = 0;
+        continue;
+      }
+      if (s_.idle_request[v]) {
+        s_.idle_request[v] = 0;
+        s_.node_awake[v] = 0;
+        continue;
+      }
+      s_.node_awake[v] = 1;
+      rs.next_awake.push_back(v);
+    }
+  });
+  s_.next_awake.clear();
+  for (const auto& rs : s_.recv_shards) {
+    s_.next_awake.insert(s_.next_awake.end(), rs.next_awake.begin(),
+                         rs.next_awake.end());
+  }
+  std::swap(s_.awake_nodes, s_.next_awake);
+}
+
 RunResult Engine::run() {
   const auto t0 = std::chrono::steady_clock::now();
   const NodeId n = graph_.num_nodes();
@@ -846,6 +1210,20 @@ RunResult Engine::run() {
   result.termination_round.assign(static_cast<std::size_t>(n), -1);
 
   for (TraceSink* sink : sinks_) sink->on_run_begin(n, options_);
+  // Phase profiler (EngineOptions::profile_phases): one clock read per
+  // stage boundary, so adjacent spans share a timestamp and the per-round
+  // sum never exceeds the wall time between the boundaries. lap() costs
+  // nothing when profiling is off.
+  const bool prof = options_.profile_phases;
+  auto mark = std::chrono::steady_clock::now();
+  const auto lap = [&mark, prof]() -> std::int64_t {
+    if (!prof) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark);
+    mark = now;
+    return ns.count();
+  };
   while (active_count_ > 0 && round_ < options_.max_rounds) {
     if (s_.awake_nodes.empty() &&
         (!link_ || link_->pending_backlog() == 0)) {
@@ -857,12 +1235,25 @@ RunResult Engine::run() {
     }
     ++round_;
     for (TraceSink* sink : sinks_) sink->on_round_begin(round_, active_count_);
+    PhaseProfile rp;
+    lap();
     send_phase();
+    rp.send_ns = lap();
     deliver_round_messages();
     const std::vector<NodeId>& recv = collect_delivery_wakes();
-    if (trace_messages_) trace_deliveries();
+    (link_ ? rp.link_ns : rp.scatter_ns) = lap();
+    if (trace_messages_) {
+      trace_deliveries();
+      rp.trace_ns = lap();
+    }
     receive_phase(recv);
+    rp.receive_ns = lap();
     process_terminations(recv, result.termination_round);
+    rp.mutate_ns = lap();
+    if (prof) {
+      result.phase_ns.accumulate(rp);
+      for (TraceSink* sink : sinks_) sink->on_round_profile(round_, rp);
+    }
   }
 
   result.completed = (active_count_ == 0);

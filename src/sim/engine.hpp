@@ -84,12 +84,15 @@ inline int message_width(std::size_t payload_words, int channel) {
   return static_cast<int>(payload_words) + (channel != 0 ? 1 : 0);
 }
 
-/// Message-metric accumulator shared by every accounting site — the serial
-/// notice charges, the fused delivery loop, and the link scheduler — so
-/// the CONGEST bookkeeping cannot drift between the paths. Serial,
-/// threaded, and batch executions all charge through one instance of this
-/// struct (the engine's member account), folded into the RunResult once
-/// per run.
+/// Message-metric accumulator shared by every accounting site — the
+/// delivery passes, the termination-notice charges, and the link scheduler
+/// — so the CONGEST bookkeeping cannot drift between the paths. The serial
+/// paths charge the engine's member account directly; the parallel
+/// delivery and termination passes charge one instance per receiver shard
+/// and merge them into the member account in fixed shard order each round.
+/// Every counter is an order-independent reduction (sums, plus one max),
+/// so the merged totals are *exactly* — not approximately — the serial
+/// ones for any num_threads; folded into the RunResult once per run.
 ///
 /// `messages`/`words` are the *nominal* totals — what the uncompiled
 /// algorithm pays, suppressed traffic included — so compiling a run never
@@ -121,6 +124,19 @@ struct CongestAccount {
     }
     if (width > max_width) max_width = width;
     if (word_limit > 0 && width > word_limit) ++violations;
+  }
+
+  /// Merge another account into this one (the fixed-shard-order reduction
+  /// of the parallel delivery pass). All counters are sums except
+  /// max_width, which is a max — both order-independent, so the merged
+  /// account equals the serial one exactly.
+  void merge_from(const CongestAccount& o) {
+    messages += o.messages;
+    words += o.words;
+    messages_suppressed += o.messages_suppressed;
+    words_suppressed += o.words_suppressed;
+    max_width = max_width > o.max_width ? max_width : o.max_width;
+    violations += o.violations;
   }
 
   /// Fold the accumulated counters into the run metrics (defined out of
@@ -172,6 +188,39 @@ struct SendShard {
   std::int32_t default_channel = 0;
   std::uint32_t default_len = 0;
   Value default_words[SendRecord::kInlineCap];
+  // Receiver routing (parallel delivery only): this shard's send records
+  // grouped by the receiver shard that owns `to` — a stable counting sort
+  // of record indices, so each bucket preserves send order. route_begin
+  // holds S + 1 bucket offsets into route_idx. any_long notes a payload
+  // over SendRecord::kInlineCap this round (the serial between-phases step
+  // sizes the compile cache's long-payload store before shards touch it).
+  std::vector<std::uint32_t> route_idx;
+  std::vector<std::uint32_t> route_begin;
+  std::vector<std::uint32_t> route_cursor;
+  bool any_long = false;
+};
+
+/// Per-receiver-shard state of the parallel delivery and mutation passes.
+/// Receiver shard t owns the contiguous node range [n*t/S, n*(t+1)/S) for
+/// the whole run — a pure function of (n, S), never of scheduling — and
+/// every per-node slot (recv_count, inbox slices, active-neighbor
+/// prefixes, awake flags, and the compile pass's per-in-edge cache lines)
+/// of an owned node is touched by exactly one shard, so the passes need no
+/// locks and no atomics. Per-shard outputs (touched lists, wake lists,
+/// account) are merged serially in fixed shard order; because ownership
+/// ranges are contiguous and ascending, concatenation in shard order *is*
+/// ascending node order, and the account counters are order-independent
+/// reductions — which is why the merged result is bit-identical to the
+/// serial pass (docs/MODEL.md, "Simulator internals & performance model").
+struct RecvShard {
+  CongestAccount acct;                       // merged in shard order
+  std::vector<NodeId> touched;               // owned receivers, first-touch
+  std::vector<std::uint32_t> touched_first;  // global index of first record
+  std::uint32_t delivered = 0;               // records scattered by this shard
+  std::uint32_t region = 0;                  // this shard's inbox_flat base
+  std::vector<NodeId> newly_terminated;      // T1 scratch (ascending)
+  std::vector<NodeId> wake;                  // owned sleepers woken (sorted)
+  std::vector<NodeId> next_awake;            // owned slice of the rebuild
 };
 
 /// Inbox of one node = a slice of the flat round buffer, valid for one
@@ -229,14 +278,22 @@ struct EngineScratch {
   std::vector<detail::InboxRef> inbox_ref;  // per node, stamped by round
   std::vector<std::uint32_t> recv_count;  // scratch; all-zero between rounds
   std::vector<NodeId> touched_receivers;  // receivers seen this round
+  // --- receiver-shard ownership (parallel delivery/mutation passes) ---
+  std::vector<detail::RecvShard> recv_shards;  // one per engine thread
+  std::vector<std::uint16_t> node_shard;  // owning receiver shard per node
+  std::vector<std::uint32_t> send_base;   // global index base per send shard
+  std::vector<std::size_t> merge_pos;     // touched-list merge cursor scratch
   // --- message-reduction compiler state (EngineOptions::compile), SoA per
   // directed edge, addressed by the CSR adjacency slot of (from, to). The
   // cache models the receiver's one-slot memory of the link's previous
   // message: (channel, len, payload). Payloads up to SendRecord::kInlineCap
   // words — the common case — live in the flat cache_words pool; longer
   // ones fall back to the per-edge vector store. Only allocated when
-  // compile.cache_resends is on; all mutation happens in the engine's
-  // serial delivery loop, so num_threads cannot influence hits.
+  // compile.cache_resends is on. Mutation is keyed to receiver-shard
+  // ownership: the directed edge (from, to)'s slot is touched only by the
+  // shard owning `to`, and each shard walks its records in ascending
+  // global send order, so the hit/miss sequence per edge — and therefore
+  // the suppressed split — is identical for every num_threads.
   std::vector<std::uint8_t> cache_state;      // 0 empty, 1 short, 2 long
   std::vector<std::int32_t> cache_channel;
   std::vector<std::uint32_t> cache_len;
@@ -439,12 +496,19 @@ struct EngineOptions {
   /// Null (the default) installs no sink: the engine then makes no
   /// virtual calls and does no per-message trace work at all.
   TraceSink* trace_sink = nullptr;
-  /// Shard the send and receive phases over this many threads (1 = serial).
+  /// Shard the round pipeline over this many threads (1 = serial).
   /// Results are bit-identical to the serial run regardless of the value —
   /// see docs/MODEL.md "Simulator internals & performance model".
   int num_threads = 1;
+  /// Measure the wall-ns each round spends in each pipeline stage
+  /// (RunResult::phase_ns; per-round deltas via
+  /// TraceSink::on_round_profile). Off by default under the trace spine's
+  /// cost contract: the measurement is a handful of clock reads per round,
+  /// invisible on message-bound runs but measurable on runs with millions
+  /// of sub-microsecond rounds. Never affects simulated behavior.
+  bool profile_phases = false;
   /// Message-reduction compilation (see CompileOptions above).
-  CompileOptions compile;
+  CompileOptions compile = {};
 };
 
 struct RunResult {
@@ -491,8 +555,13 @@ struct RunResult {
   /// (only filled when EngineOptions::record_terminations is set).
   std::vector<std::vector<NodeId>> terminations_per_round;
   /// Wall-clock duration of run(). Excluded from determinism comparisons —
-  /// every other field above is reproducible from (graph, factory, options).
+  /// every field above is reproducible from (graph, factory, options).
   double wall_ms = 0;
+  /// Cumulative wall-ns per pipeline stage (sim/trace.hpp) — where inside
+  /// run() the wall time went. Host measurements like wall_ms: excluded
+  /// from determinism comparisons and never part of a transcript. The
+  /// per-round deltas stream through TraceSink::on_round_profile.
+  PhaseProfile phase_ns;
   /// High-water mark of per-round message-payload arena usage, in bytes.
   /// Plateaus once the arena reaches steady state (no per-round allocation).
   std::int64_t peak_arena_bytes = 0;
@@ -543,6 +612,16 @@ class Engine {
   void run_sharded(std::size_t worklist_size, const Body& body);
   void send_phase();
   void deliver_round_messages();
+  /// Reference delivery path: one serial fused resolve/charge/count pass
+  /// plus a serial scatter. Used when the engine is serial (one shard),
+  /// under an enforcing link layer, and on the rare channel-repair rounds;
+  /// the parallel path below must match it bit for bit.
+  void deliver_serial();
+  /// Receiver-sharded delivery: parallel resolve + route over sender
+  /// shards, then parallel charge/cache/count and inbox scatter over
+  /// receiver shards, with per-shard accounts merged in fixed shard order.
+  /// Requires monotone channels and no enforcing link layer.
+  void deliver_parallel();
   /// Enforcing-policy tail of delivery: route the round's sends through the
   /// link layer and scatter what it clears into the inboxes.
   void deliver_enforced();
@@ -555,10 +634,20 @@ class Engine {
   void receive_phase(const std::vector<NodeId>& recv);
   void process_terminations(const std::vector<NodeId>& recv,
                             std::vector<int>& termination_round);
+  /// Parallel twin of process_terminations, sharded by receiver ownership:
+  /// detection over recv slices, notice charging / view compaction / wake
+  /// collection over owned neighbors, and the awake-worklist rebuild over
+  /// owned recv sub-ranges. Byte-identical outcome by the RecvShard merge
+  /// argument.
+  void process_terminations_parallel(const std::vector<NodeId>& recv,
+                                     std::vector<int>& termination_round);
   void charge(std::size_t payload_words, int channel);
-  /// Neighborhood-cache lookup/update for one resolved record (serial
-  /// delivery loop only). Returns true when the record repeats the edge's
-  /// previous message — the caller marks it suppressed.
+  /// Neighborhood-cache lookup/update for one resolved record. Called from
+  /// the serial delivery loop, or from the one receiver shard owning
+  /// r.to — each directed edge's cache line has exactly one writer, and it
+  /// sees that edge's records in canonical order either way. Returns true
+  /// when the record repeats the edge's previous message — the caller
+  /// marks it suppressed.
   bool cache_check_and_update(detail::SendRecord& r);
   /// Emit this round's delivered messages (the freshly scattered inbox
   /// slices) to the sinks. Only called when a sink wants message detail.
@@ -583,10 +672,12 @@ class Engine {
   int round_ = 0;
   bool in_send_phase_ = false;
   NodeId active_count_ = 0;
-  // The run's single message account: the serial delivery loop, the
-  // termination-notice charges, and (via the policies) the link layer all
-  // charge here; folded into the RunResult once, at the end of run(). One
-  // path for serial, threaded, and batch execution.
+  // The run's message account. Serial paths (the reference delivery loop,
+  // the link layer's policies) charge here directly; the parallel delivery
+  // and termination passes charge per-receiver-shard accounts and merge
+  // them into this one in fixed shard order each round (exact — see
+  // CongestAccount::merge_from). Folded into the RunResult once, at the
+  // end of run().
   detail::CongestAccount acct_;
   // Compile knobs cached as flat flags (checked per send / per record).
   bool compile_cache_ = false;

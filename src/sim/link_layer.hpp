@@ -24,7 +24,11 @@
 // canonical (sender, channel, send order); links transmit in ascending
 // (sender, neighbor) order; and all link-state mutation happens in the
 // serial delivery step between the (possibly parallel) send and receive
-// phases, so `num_threads` cannot influence the schedule. The full
+// phases, so `num_threads` cannot influence the schedule. An enforcing
+// policy therefore selects the engine's serial reference delivery path —
+// the receiver-sharded parallel scatter never runs under a link layer, and
+// the layer charges the engine's run account directly (never the per-shard
+// accounts), so link budgets and RunResult counters stay exact. The full
 // contract lives in docs/MODEL.md, "CONGEST enforcement semantics";
 // tests/engine_test.cpp and tests/engine_determinism_test.cpp pin it.
 #pragma once
@@ -37,8 +41,9 @@
 namespace dgap::detail {
 
 // message_width / CongestAccount — the shared accounting primitives — live
-// in sim/engine.hpp (the engine owns the run's single account; every
-// accounting site, this link layer included, charges through it).
+// in sim/engine.hpp (the engine owns the run account; serial sites, this
+// link layer included, charge it directly, and the parallel delivery pass
+// merges its per-receiver-shard accounts into it in fixed shard order).
 
 /// A message the link layer cleared for delivery this round. `words` stays
 /// valid through the round's receive phase (it points into either the

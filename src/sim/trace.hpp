@@ -25,6 +25,7 @@
 // never race with the sharded send/receive phases and need no locking.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -36,6 +37,34 @@ namespace dgap {
 
 struct EngineOptions;
 struct RunResult;
+
+/// Wall-clock nanoseconds spent in each stage of the engine's round
+/// pipeline. The engine accumulates one instance over the run
+/// (RunResult::phase_ns) and emits the per-round deltas through
+/// TraceSink::on_round_profile, so a perf regression is attributable to a
+/// stage instead of rediscovered by bisection. Like RunResult::wall_ms,
+/// these are measurements of the host, not of the simulated network:
+/// excluded from determinism comparisons and never part of a transcript.
+struct PhaseProfile {
+  std::int64_t send_ns = 0;     // program on_send hooks (sharded)
+  std::int64_t scatter_ns = 0;  // resolve + route + inbox scatter (fast path)
+  std::int64_t link_ns = 0;     // enforcing link-layer delivery (kDefer etc.)
+  std::int64_t trace_ns = 0;    // per-message trace emission
+  std::int64_t receive_ns = 0;  // program on_receive hooks (sharded)
+  std::int64_t mutate_ns = 0;   // termination sweep, compaction, wake rebuild
+
+  std::int64_t sum() const {
+    return send_ns + scatter_ns + link_ns + trace_ns + receive_ns + mutate_ns;
+  }
+  void accumulate(const PhaseProfile& o) {
+    send_ns += o.send_ns;
+    scatter_ns += o.scatter_ns;
+    link_ns += o.link_ns;
+    trace_ns += o.trace_ns;
+    receive_ns += o.receive_ns;
+    mutate_ns += o.mutate_ns;
+  }
+};
 
 /// How much of the run a sink wants to observe.
 enum class TraceDetail {
@@ -96,6 +125,12 @@ class TraceSink {
   virtual void on_termination(int round, NodeId node, Value output,
                               std::span<const std::pair<NodeId, Value>>
                                   edge_outputs);
+  /// End of round `round`: the wall-ns this round spent in each pipeline
+  /// stage. Fired after the round's state mutations, before the next
+  /// on_round_begin. A profiling event on the host clock — sinks must not
+  /// record it into transcripts (same rule as wall_ms; the committed
+  /// transcript writers ignore it, which keeps goldens byte-identical).
+  virtual void on_round_profile(int round, const PhaseProfile& profile);
   /// End of run(): the finished result (wall_ms not yet stamped; sinks
   /// must not record it — transcripts exclude wall-clock by design).
   virtual void on_run_end(const RunResult& result);

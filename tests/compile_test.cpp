@@ -2,11 +2,12 @@
 //
 //  1. Equivalence: for every wrapped algorithm, the compiled run's
 //     outputs, rounds, termination rounds, and kRounds transcript are
-//     byte-identical to the uncompiled run's, across threads {1, 2, 4};
+//     byte-identical to the uncompiled run's, across threads {1, 2, 4, 8};
 //     payload transcripts differ ONLY in the suppressed flag.
 //  2. Accounting: total == sent + suppressed exactly (nominal invariance),
 //     a knobs-off run suppresses nothing, and the split is identical
-//     across thread counts (the cache runs in the serial delivery loop).
+//     across thread counts (the resend cache is keyed to receiver-shard
+//     ownership, so every delivery path replays the same hit sequence).
 //  3. Reduction: flood_min re-sends collapse (> 30% of words off the wire),
 //     and the skeleton relay prunes further while preserving outputs.
 //  4. Composition hazards: a suppressed re-send meeting a terminating
@@ -59,7 +60,7 @@ const Equiv kEquivCases[] = {
 };
 
 // ---------------------------------------------------------------------------
-// 1 + 2. Equivalence and accounting across threads {1, 2, 4}.
+// 1 + 2. Equivalence and accounting across threads {1, 2, 4, 8}.
 // ---------------------------------------------------------------------------
 
 TEST(CompileEquivalence, IdenticalOutputsAndKRoundsTranscriptAcrossThreads) {
@@ -84,7 +85,7 @@ TEST(CompileEquivalence, IdenticalOutputsAndKRoundsTranscriptAcrossThreads) {
               uncompiled.result.total_messages);
 
     std::int64_t suppressed_t1 = -1;
-    for (int threads : {1, 2, 4}) {
+    for (int threads : {1, 2, 4, 8}) {
       SCOPED_TRACE(threads);
       EngineOptions opt;
       opt.num_threads = threads;
@@ -109,8 +110,8 @@ TEST(CompileEquivalence, IdenticalOutputsAndKRoundsTranscriptAcrossThreads) {
                 compiled.result.total_messages);
       EXPECT_EQ(compiled.result.words_sent + compiled.result.words_suppressed,
                 compiled.result.total_words);
-      // The cache runs in the serial delivery loop: the split cannot
-      // depend on the thread count.
+      // The cache is keyed to receiver-shard ownership and walked in
+      // global send order: the split cannot depend on the thread count.
       if (suppressed_t1 < 0) {
         suppressed_t1 = compiled.result.messages_suppressed;
       } else {

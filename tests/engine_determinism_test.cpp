@@ -15,22 +15,29 @@
 //     change what arrives when.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "mis/checkers.hpp"
 #include "mis/congest_global.hpp"
 #include "random/luby.hpp"
+#include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "sim/transcript.hpp"
 
 namespace dgap {
 namespace {
 
-/// Everything in RunResult except wall_ms (explicitly excluded from the
-/// determinism contract) and peak_arena_bytes (capacity growth may differ
-/// across thread counts; the *contents* may not).
+/// Everything in RunResult except the host-clock measurements (wall_ms and
+/// phase_ns, explicitly excluded from the determinism contract) and
+/// peak_arena_bytes (capacity growth may differ across thread counts; the
+/// *contents* may not). The suppression split is compared exactly: the
+/// parallel delivery's per-shard accounts must merge to the same counters
+/// the serial reference path charges.
 void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.rounds, b.rounds);
@@ -39,6 +46,10 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.edge_outputs, b.edge_outputs);
   EXPECT_EQ(a.total_messages, b.total_messages);
   EXPECT_EQ(a.total_words, b.total_words);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.words_sent, b.words_sent);
+  EXPECT_EQ(a.messages_suppressed, b.messages_suppressed);
+  EXPECT_EQ(a.words_suppressed, b.words_suppressed);
   EXPECT_EQ(a.max_message_words, b.max_message_words);
   EXPECT_EQ(a.congest_violations, b.congest_violations);
   EXPECT_EQ(a.deferred_messages, b.deferred_messages);
@@ -78,7 +89,7 @@ TEST(EngineDeterminism, ThreadCountInvariant) {
   Graph g = test_graph();
   auto serial = run_algorithm(g, luby_mis_algorithm(42), recording_options(1));
   ASSERT_TRUE(serial.completed);
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     auto parallel =
         run_algorithm(g, luby_mis_algorithm(42), recording_options(threads));
     expect_identical(serial, parallel);
@@ -175,7 +186,7 @@ TEST(EngineDeterminism, DeferPolicyThreadCountInvariant) {
   EXPECT_GT(serial.rounds_with_backlog, 0);
   auto repeat = run_algorithm(g, factory, opt);
   expect_identical(serial, repeat);
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     opt.num_threads = threads;
     auto parallel = run_algorithm(g, factory, opt);
     expect_identical(serial, parallel);
@@ -197,7 +208,7 @@ TEST(EngineDeterminism, DeferPolicyShuffleInvariantPerIdentifier) {
   ASSERT_TRUE(is_valid_mis(g, base.outputs));
   EXPECT_GT(base.deferred_messages, 0);
 
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     EngineOptions topt = opt;
     topt.num_threads = threads;
     auto parallel = run_algorithm(g, congest_global_mis_algorithm(), topt);
@@ -241,7 +252,7 @@ TEST(EngineDeterminism, TranscriptIsThreadCountInvariant) {
   const RecordedRun serial =
       record_run(g, {}, luby_mis_algorithm(42), opt, TraceDetail::kPayloads);
   ASSERT_TRUE(serial.result.completed);
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     EngineOptions topt = opt;
     topt.num_threads = threads;
     const RecordedRun parallel = record_run(g, {}, luby_mis_algorithm(42),
@@ -264,13 +275,74 @@ TEST(EngineDeterminism, DeferTranscriptIsThreadCountInvariant) {
       record_run(g, {}, factory, opt, TraceDetail::kPayloads);
   ASSERT_TRUE(serial.result.completed);
   ASSERT_GT(serial.result.deferred_words, 0);
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     EngineOptions topt = opt;
     topt.num_threads = threads;
     const RecordedRun parallel =
         record_run(g, {}, factory, topt, TraceDetail::kPayloads);
     EXPECT_EQ(serial.transcript, parallel.transcript)
         << "num_threads = " << threads;
+  }
+}
+
+// Compile knobs change which delivery path charges the suppression split
+// (the parallel pass keys the resend cache to receiver-shard ownership),
+// so sweep them together with streamed transcripts: the on-disk bytes of
+// a compiled run must be identical for every thread count, and nonzero
+// suppression must merge to the same counters.
+TEST(EngineDeterminism, CompiledStreamedTranscriptIsThreadCountInvariant) {
+  // flood_min re-broadcasts its stabilized minimum every round, so the
+  // resend cache must suppress most of the traffic.
+  Rng rng(31);
+  Graph g = make_random_connected(48, 40, rng);
+  randomize_ids(g, rng);
+  EngineOptions opt = recording_options(1);
+  opt.compile.cache_resends = true;
+  opt.compile.decode_defaults = true;
+  const std::string serial_path = "/tmp/dgap_det_serial.dgaptr";
+  const StreamedRun serial =
+      record_run_to_file(serial_path, g, {}, flood_min_algorithm(), opt,
+                         TraceDetail::kPayloads, "det_compiled");
+  ASSERT_TRUE(serial.result.completed);
+  EXPECT_GT(serial.result.messages_suppressed, 0);
+  const std::vector<std::uint8_t> serial_bytes =
+      read_transcript_file(serial_path);
+  std::remove(serial_path.c_str());
+  ASSERT_FALSE(serial_bytes.empty());
+  for (int threads : {2, 4, 8}) {
+    EngineOptions topt = opt;
+    topt.num_threads = threads;
+    const std::string path = "/tmp/dgap_det_threaded.dgaptr";
+    const StreamedRun parallel =
+        record_run_to_file(path, g, {}, flood_min_algorithm(), topt,
+                           TraceDetail::kPayloads, "det_compiled");
+    const std::vector<std::uint8_t> bytes = read_transcript_file(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(serial_bytes, bytes) << "num_threads = " << threads;
+    expect_identical(serial.result, parallel.result);
+  }
+}
+
+// The same sweep at kRounds granularity: the cheap spine must be as
+// thread-invariant as the full payload capture.
+TEST(EngineDeterminism, CompiledRoundsTranscriptIsThreadCountInvariant) {
+  Rng rng(32);
+  Graph g = make_random_connected(64, 48, rng);
+  randomize_ids(g, rng);
+  EngineOptions opt = recording_options(1);
+  opt.compile.cache_resends = true;
+  const RecordedRun serial =
+      record_run(g, {}, flood_min_algorithm(), opt, TraceDetail::kRounds);
+  ASSERT_TRUE(serial.result.completed);
+  EXPECT_GT(serial.result.messages_suppressed, 0);
+  for (int threads : {2, 4, 8}) {
+    EngineOptions topt = opt;
+    topt.num_threads = threads;
+    const RecordedRun parallel =
+        record_run(g, {}, flood_min_algorithm(), topt, TraceDetail::kRounds);
+    EXPECT_EQ(serial.transcript, parallel.transcript)
+        << "num_threads = " << threads;
+    expect_identical(serial.result, parallel.result);
   }
 }
 

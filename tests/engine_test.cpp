@@ -3,6 +3,7 @@
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/phase.hpp"
+#include "sim/transcript.hpp"
 
 namespace dgap {
 namespace {
@@ -602,6 +603,102 @@ TEST(Engine, DeferDeliversToLateTerminatedReceiverNever) {
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.total_messages, 1 + 1);  // the burst + one notice
   EXPECT_EQ(result.total_words, 4 + 1);
+}
+
+// ---- Phase profiler (EngineOptions::profile_phases) -------------------------
+
+/// Captures every on_round_profile event (one per round when profiling).
+class ProfileCollector final : public TraceSink {
+ public:
+  void on_round_profile(int round, const PhaseProfile& profile) override {
+    rounds.push_back(round);
+    total.accumulate(profile);
+  }
+  std::vector<int> rounds;
+  PhaseProfile total;
+};
+
+/// Three rounds of broadcasting so every pipeline stage does real work.
+class ChatterProgram final : public NodeProgram {
+ public:
+  void on_send(NodeContext& ctx) override {
+    if (ctx.round() <= 3) ctx.broadcast({ctx.id(), 7});
+  }
+  void on_receive(NodeContext& ctx) override {
+    if (ctx.round() >= 3) {
+      ctx.set_output(ctx.id());
+      ctx.terminate();
+    }
+  }
+};
+
+TEST(Engine, PhaseProfilerSelfConsistent) {
+  Rng rng(4242);
+  Graph g = make_gnp(256, 8.0 / 256, rng);
+  EngineOptions opt;
+  opt.profile_phases = true;
+  auto factory = [](NodeId) { return std::make_unique<ChatterProgram>(); };
+  auto result = run_algorithm(g, factory, opt);
+  ASSERT_TRUE(result.completed);
+  // Each stage measured its own wall slice: the per-stage sum can never
+  // exceed the whole run's wall clock (it omits scheduling/bookkeeping
+  // between the measured spans).
+  EXPECT_GT(result.phase_ns.sum(), 0);
+  EXPECT_LE(static_cast<double>(result.phase_ns.sum()) / 1e6,
+            result.wall_ms + 1e-3);
+  // A message-heavy run without a link layer exercises send, scatter,
+  // receive, and mutate; the link span only runs under enforcement.
+  EXPECT_GT(result.phase_ns.send_ns, 0);
+  EXPECT_GT(result.phase_ns.scatter_ns, 0);
+  EXPECT_GT(result.phase_ns.receive_ns, 0);
+  EXPECT_GT(result.phase_ns.mutate_ns, 0);
+  EXPECT_EQ(result.phase_ns.link_ns, 0);
+  EXPECT_EQ(result.phase_ns.trace_ns, 0);
+}
+
+TEST(Engine, PhaseProfilerStreamsPerRoundDeltas) {
+  Rng rng(4242);
+  Graph g = make_gnp(128, 8.0 / 128, rng);
+  EngineOptions opt;
+  opt.profile_phases = true;
+  ProfileCollector collector;
+  opt.trace_sink = &collector;
+  auto factory = [](NodeId) { return std::make_unique<ChatterProgram>(); };
+  auto result = run_algorithm(g, factory, opt);
+  ASSERT_TRUE(result.completed);
+  // One event per round, in order, and the deltas sum to the run totals.
+  ASSERT_EQ(static_cast<int>(collector.rounds.size()), result.rounds);
+  for (int r = 1; r <= result.rounds; ++r) {
+    EXPECT_EQ(collector.rounds[static_cast<std::size_t>(r - 1)], r);
+  }
+  EXPECT_EQ(collector.total.sum(), result.phase_ns.sum());
+  EXPECT_EQ(collector.total.send_ns, result.phase_ns.send_ns);
+  EXPECT_EQ(collector.total.mutate_ns, result.phase_ns.mutate_ns);
+}
+
+TEST(Engine, PhaseProfilerLinkAndTraceSpans) {
+  // Under an enforcing policy the delivery span is attributed to link_ns
+  // (the serial reference path), and a payload-recording sink makes the
+  // trace span nonzero.
+  Rng rng(77);
+  Graph g = make_gnp(128, 8.0 / 128, rng);
+  EngineOptions opt;
+  opt.profile_phases = true;
+  opt.congest_policy = CongestPolicy::kDefer;
+  opt.congest_word_limit = 1;
+  auto factory = [](NodeId) { return std::make_unique<ChatterProgram>(); };
+  auto result = run_algorithm(g, factory, opt);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.phase_ns.link_ns, 0);
+  EXPECT_EQ(result.phase_ns.scatter_ns, 0);
+
+  EngineOptions topt;
+  topt.profile_phases = true;
+  TranscriptWriter writer(TraceDetail::kPayloads);
+  topt.trace_sink = &writer;
+  auto traced = run_algorithm(g, factory, topt);
+  ASSERT_TRUE(traced.completed);
+  EXPECT_GT(traced.phase_ns.trace_ns, 0);
 }
 
 TEST(Phase, SequencePhaseRunsInOrder) {

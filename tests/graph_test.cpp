@@ -181,6 +181,21 @@ TEST(Generators, GnmHasExactlyMEdges) {
   EXPECT_EQ(make_gnm(300, 600, r1).edges(), make_gnm(300, 600, r2).edges());
 }
 
+TEST(Generators, ParallelBuildersAreByteIdenticalAcrossThreadCounts) {
+  // The block decomposition is a pure function of the instance (never of
+  // num_threads), per-block seeds are drawn serially, and blocks merge in
+  // block order — so the thread count can only change who executes a
+  // block, never what it contains. n is large enough for several blocks.
+  const NodeId n = 20000;
+  Graph gnp1 = [&] { Rng r(77); return make_gnp_sparse(n, 6.0 / n, r, 1); }();
+  Graph gnm1 = [&] { Rng r(78); return make_gnm(n, 3 * n, r, 1); }();
+  for (const int threads : {2, 4}) {
+    Rng rp(77), rm(78);
+    EXPECT_EQ(gnp1.edges(), make_gnp_sparse(n, 6.0 / n, rp, threads).edges());
+    EXPECT_EQ(gnm1.edges(), make_gnm(n, 3 * n, rm, threads).edges());
+  }
+}
+
 TEST(Generators, SparseFamiliesBuildThroughGraphSpec) {
   const GraphSpec gnps = GraphSpec::gnp_sparse(256, 8.0 / 256, 17,
                                                GraphSpec::IdPolicy::kRandomized);

@@ -13,6 +13,11 @@
 //       differ, 0 if identical.
 //   dgap_trace stats <file>...
 //       Header, per-round message/termination profile, and totals.
+//   dgap_trace profile <case>|all [threads]
+//       Re-execute canonical case(s) with the phase profiler on
+//       (EngineOptions::profile_phases) and print the per-stage wall-time
+//       breakdown of the round pipeline. Host measurements — never part
+//       of a transcript; see docs/MODEL.md, "Phase profiler".
 //
 // Transcripts are self-describing (GraphSpec + options in the header), so
 // verify needs only the file and the case registry in tools/cases.cpp.
@@ -35,7 +40,8 @@ int usage() {
                "       dgap_trace record <case>|all <dir>\n"
                "       dgap_trace verify <file>...\n"
                "       dgap_trace diff <a> <b>\n"
-               "       dgap_trace stats <file>...\n");
+               "       dgap_trace stats <file>...\n"
+               "       dgap_trace profile <case>|all [threads]\n");
   return 2;
 }
 
@@ -261,6 +267,40 @@ int cmd_stats(const std::vector<std::string>& files) {
   return 0;
 }
 
+int cmd_profile(const std::string& which, int threads) {
+  std::vector<const CanonicalCase*> selected;
+  if (which == "all") {
+    for (const CanonicalCase& c : canonical_cases()) selected.push_back(&c);
+  } else if (const CanonicalCase* c = find_canonical_case(which)) {
+    selected.push_back(c);
+  } else {
+    std::fprintf(stderr, "dgap_trace: unknown case '%s' (try: list)\n",
+                 which.c_str());
+    return 2;
+  }
+  std::printf("%-22s %8s %9s %9s %9s %9s %9s %9s %9s\n", "case", "rounds",
+              "wall_ms", "send_ms", "scat_ms", "link_ms", "trace_ms",
+              "recv_ms", "mut_ms");
+  for (const CanonicalCase* c : selected) {
+    const Graph g = c->spec.build();
+    const Predictions predictions =
+        c->predictions ? c->predictions(g) : Predictions{};
+    EngineOptions opt = c->options;
+    opt.profile_phases = true;
+    if (threads > 0) opt.num_threads = threads;
+    const RunResult r = run_with_predictions(g, predictions, c->factory(), opt);
+    const auto ms = [](std::int64_t ns) {
+      return static_cast<double>(ns) / 1e6;
+    };
+    std::printf("%-22s %8d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                c->name.c_str(), r.rounds, r.wall_ms, ms(r.phase_ns.send_ns),
+                ms(r.phase_ns.scatter_ns), ms(r.phase_ns.link_ns),
+                ms(r.phase_ns.trace_ns), ms(r.phase_ns.receive_ns),
+                ms(r.phase_ns.mutate_ns));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +316,9 @@ int main(int argc, char** argv) {
     if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
     if (cmd == "stats" && args.size() >= 2) {
       return cmd_stats({args.begin() + 1, args.end()});
+    }
+    if (cmd == "profile" && (args.size() == 2 || args.size() == 3)) {
+      return cmd_profile(args[1], args.size() == 3 ? std::stoi(args[2]) : 0);
     }
     return usage();
   } catch (const std::exception& e) {
