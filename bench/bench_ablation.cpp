@@ -15,7 +15,7 @@
 #include "mis/algorithms.hpp"
 #include "mis/checkers.hpp"
 #include "predict/error_measures.hpp"
-#include "predict/generators.hpp"
+#include "predict/provider.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
@@ -56,14 +56,18 @@ void init_ablation_table() {
            {"gnp_60", make_gnp(60, 0.08, rng)}}) {
     Graph& g = graphs.emplace_back(std::move(graph));
     randomize_ids(g, rng);
-    auto correct = mis_correct_prediction(g, rng);
-    for (auto [pred_name, pred] : std::vector<std::pair<std::string, Predictions>>{
-             {"correct", correct},
-             {"8_flips", flip_bits(correct, 8, rng)},
-             {"all_ones", all_same(g, 1)}}) {
-      runner.add(g, base_b, pred);
-      runner.add(g, init_b, pred);
-      rows.push_back({name, pred_name, graphs.size() - 1});
+    // Three error levels as PredictionProviders; the jobs carry the
+    // provider and the runner materializes each prediction once.
+    for (ProviderPtr src :
+         {exact_provider(), perturbed_provider(8), constant_provider(1)}) {
+      for (const auto& b : {base_b, init_b}) {
+        BatchJob job = make_job(g, b);
+        job.provider = src;
+        job.provider_kind = ProblemKind::kMis;
+        job.provider_seed = 5;
+        runner.add(std::move(job));
+      }
+      rows.push_back({name, src->name(), graphs.size() - 1});
     }
   }
   auto results = take_results(runner.run_all());
@@ -84,28 +88,34 @@ void template_matrix_table() {
          "robustness cap; Consecutive/Interleaved pay a factor ~2 in the "
          "degradation; Parallel gets both without the factor 2 "
          "(Section 7's summary paragraphs, measured).");
-  Table table({"flips", "eta1", "simple", "consec", "interleav", "parallel"},
-              11);
+  Table table({"provider", "eta1", "simple", "consec", "interleav",
+               "parallel"},
+              13);
   table.print_header();
-  Rng rng(11);
   Graph g = make_line(120);
   sorted_ids(g);
-  auto correct = mis_correct_prediction(g, rng);
-  const std::vector<int> flip_levels{0, 1, 4, 12, 32, 120};
+  constexpr std::uint64_t kSeed = 11;
+  const std::vector<ProviderPtr> sources{
+      exact_provider(),      perturbed_provider(1),  perturbed_provider(4),
+      perturbed_provider(12), perturbed_provider(32), constant_provider(1)};
   // Four templates per error level — 24 independent engines, one batch.
   BatchRunner runner({default_batch_workers()});
   std::vector<Predictions> preds;
-  for (int flips : flip_levels) {
-    auto pred = flips == 120 ? all_same(g, 1) : flip_bits(correct, flips, rng);
-    runner.add(g, mis_simple_greedy(), pred);
-    runner.add(g, mis_consecutive_linial(), pred);
-    runner.add(g, mis_interleaved_gather(), pred);
-    runner.add(g, mis_parallel_linial(), pred);
-    preds.push_back(std::move(pred));
+  for (const ProviderPtr& src : sources) {
+    preds.push_back(provide_with_seed(*src, g, ProblemKind::kMis, kSeed));
+    for (ProgramFactory (*factory)() :
+         {&mis_simple_greedy, &mis_consecutive_linial, &mis_interleaved_gather,
+          &mis_parallel_linial}) {
+      BatchJob job = make_job(g, factory());
+      job.provider = src;
+      job.provider_kind = ProblemKind::kMis;
+      job.provider_seed = kSeed;
+      runner.add(std::move(job));
+    }
   }
   auto results = take_results(runner.run_all());
-  for (std::size_t i = 0; i < flip_levels.size(); ++i) {
-    table.print_row({fmt(flip_levels[i]), fmt(eta1_mis(g, preds[i])),
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    table.print_row({sources[i]->name(), fmt(eta1_mis(g, preds[i])),
                      fmt(results[4 * i].rounds), fmt(results[4 * i + 1].rounds),
                      fmt(results[4 * i + 2].rounds),
                      fmt(results[4 * i + 3].rounds)});
@@ -133,7 +143,8 @@ void luby_template_table() {
   graphs.reserve(3);
   auto add_instance = [&](std::string name, Graph graph) {
     Graph& g = graphs.emplace_back(std::move(graph));
-    auto pred = all_same(g, 0);
+    auto pred =
+        provide_with_seed(*neutral_provider(), g, ProblemKind::kMis, 0);
     for (std::size_t t = 0; t < kTrials; ++t) {
       runner.add(g, mis_simple_luby(977 + 13 * static_cast<int>(t)), pred);
     }
@@ -166,8 +177,11 @@ void verification_table() {
   Rng rng(21);
   Graph g = make_grid(8, 8);
   randomize_ids(g, rng);
-  // Prediction generation and the 1-round verifiers stay serial (they share
-  // the Rng stream); the four per-problem algorithm runs are one batch.
+  // One exact_provider serves all four problems: the verifiers check the
+  // materialized prediction serially, the per-problem algorithm runs are
+  // one batch.
+  constexpr std::uint64_t kSeed = 21;
+  const ProviderPtr exact = exact_provider();
   BatchRunner runner({default_batch_workers()});
   std::vector<std::pair<std::string, int>> rows;  // problem, verify rounds
   {
@@ -179,20 +193,21 @@ void verification_table() {
     rows.emplace_back("MIS", vr.rounds);
   }
   {
-    auto pred = matching_correct_prediction(g, rng);
+    auto pred = provide_with_seed(*exact, g, ProblemKind::kMatching, kSeed);
     auto vr = verify_matching_locally(g, pred.node_values());
     runner.add(g, matching_parallel_linegraph(), pred);
     rows.emplace_back("MaximalMatching", vr.rounds);
   }
   {
-    auto pred = coloring_correct_prediction(g, rng);
+    auto pred = provide_with_seed(*exact, g, ProblemKind::kColoring, kSeed);
     auto vr = verify_coloring_locally(g, pred.node_values(),
                                       g.max_degree() + 1);
     runner.add(g, coloring_parallel_linial(), pred);
     rows.emplace_back("(D+1)-VertexCol", vr.rounds);
   }
   {
-    auto pred = edge_coloring_correct_prediction(g, rng);
+    auto pred =
+        provide_with_seed(*exact, g, ProblemKind::kEdgeColoring, kSeed);
     auto vr = verify_edge_coloring_locally(g, pred.edge_values());
     runner.add(g, edge_coloring_consecutive_linegraph(), pred);
     rows.emplace_back("(2D-1)-EdgeCol", vr.rounds);
@@ -205,10 +220,10 @@ void verification_table() {
 }
 
 void BM_TemplateMatrix(benchmark::State& state) {
-  Rng rng(2);
   Graph g = make_line(120);
   sorted_ids(g);
-  auto pred = all_same(g, 1);
+  auto pred =
+      provide_with_seed(*constant_provider(1), g, ProblemKind::kMis, 2);
   ProgramFactory (*factories[])() = {&mis_simple_greedy,
                                      &mis_consecutive_linial,
                                      &mis_interleaved_gather,

@@ -53,7 +53,7 @@ Sweep tradeoff_sweep() {
     sorted_ids(g);
     auto base = mis_correct_prediction(g, rng);
     for (int flips : {0, 2, 8, 24, n}) {
-      auto pred = flips == n ? all_same(g, 1) : flip_bits(base, flips, rng);
+      auto pred = flips == n ? all_same(g, 1) : flip_bits(g, base, flips, rng);
       preds->push_back(std::move(pred));
       for (auto lambda : lambdas) {
         rows->push_back({preds->size() - 1, lambda});

@@ -38,7 +38,7 @@ void print_table() {
   table.print_header();
   Rng rng(4);
   Graph g = make_random_connected(100, 50, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 10, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 10, rng);
 
   auto report = [&](const char* name, RunResult result) {
     table.print_row({name, fmt(result.rounds), fmt(result.max_message_words),

@@ -54,7 +54,7 @@ void print_table() {
                          kMisCleanupRounds) +
                     kMisCleanupRounds;
     for (int flips : {0, 2, 8, 32, n}) {
-      auto pred = flips == n ? all_same(g, 1) : flip_bits(base, flips, rng);
+      auto pred = flips == n ? all_same(g, 1) : flip_bits(g, base, flips, rng);
       runner.add(g, mis_consecutive_gather(), pred);
       runner.add(g, mis_consecutive_linial(), pred);
       rows.push_back({n, flips, cap, std::move(pred)});
@@ -78,7 +78,7 @@ void BM_ConsecutiveGather(benchmark::State& state) {
   Rng rng(5);
   Graph g = make_grid(8, 8);
   randomize_ids(g, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng),
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                         static_cast<int>(state.range(0)), rng);
   int rounds = 0;
   for (auto _ : state) {

@@ -128,6 +128,11 @@ bool run_all(bool json) {
                        match ? "yes" : "NO"});
       out.begin_record();
       out.field("problem", names[p]);
+      // Which PredictionProviders fed the two trajectories: the control
+      // always runs on the problem's scratch provider; the warm runs use
+      // the harness's warm_start_provider over the previous epoch.
+      out.field("scratch_provider", problem_of(p).scratch->name());
+      out.field("warm_provider", "warm_start");
       out.field("churn_rate", rate);
       out.field("epochs", config_of(rate, 2).epochs);
       out.field("mean_eta", eta);

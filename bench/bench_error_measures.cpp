@@ -107,7 +107,7 @@ void eta_comparison_table() {
   {
     Rng rng(5);
     Graph g = make_line(20);
-    auto pred = flip_bits(mis_correct_prediction(g, rng), 3, rng);
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng), 3, rng);
     table.print_row({"line_20_3flips", fmt(eta1_mis(g, pred)),
                      fmt(eta2_mis(g, pred)), fmt(eta_bw_mis(g, pred)),
                      fmt(eta_hamming_mis(g, pred)), fmt(eta_sum_mis(g, pred))});
@@ -118,7 +118,7 @@ void BM_ErrorMeasureComputation(benchmark::State& state) {
   Rng rng(9);
   Graph g = make_grid(static_cast<NodeId>(state.range(0)),
                       static_cast<NodeId>(state.range(0)));
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 10, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 10, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(eta1_mis(g, pred));
     benchmark::DoNotOptimize(eta_bw_mis(g, pred));

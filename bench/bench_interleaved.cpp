@@ -40,7 +40,7 @@ void print_table() {
     sorted_ids(g);
     auto base = mis_correct_prediction(g, rng);
     for (int flips : {0, 1, 4, 16, n}) {
-      auto pred = flips == n ? all_same(g, 0) : flip_bits(base, flips, rng);
+      auto pred = flips == n ? all_same(g, 0) : flip_bits(g, base, flips, rng);
       auto result = run_with_predictions(g, pred, mis_interleaved_gather());
       const int e1 = eta1_mis(g, pred);
       table.print_row({"sorted_line_" + fmt(n), fmt(flips), fmt(e1),
@@ -54,7 +54,7 @@ void print_table() {
     randomize_ids(g, rng);
     auto base = mis_correct_prediction(g, rng);
     for (int flips : {0, 4, 16, 64}) {
-      auto pred = flip_bits(base, flips, rng);
+      auto pred = flip_bits(g, base, flips, rng);
       auto result = run_with_predictions(g, pred, mis_interleaved_gather());
       const int e1 = eta1_mis(g, pred);
       table.print_row({"grid_10x10", fmt(flips), fmt(e1), fmt(result.rounds),

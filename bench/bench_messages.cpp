@@ -74,7 +74,7 @@ bool sweep(bool json) {
   Graph gnp24 = make_random_connected(24, 12, rng2);
   const Skeleton skeleton64 = compute_skeleton(gnp64);
 
-  const Predictions mis_pred = flip_bits(mis_correct_prediction(gnp100, rng),
+  const Predictions mis_pred = flip_bits(gnp100, mis_correct_prediction(gnp100, rng),
                                          10, rng);
   // Matching predictions: everyone predicted unmatched — the init phase's
   // declared default dominates, the worst case for prediction quality and

@@ -26,7 +26,7 @@ void sweep(const std::string& name, Graph g, Rng& rng, Table& table,
   const int cap = 3 + r1 + 1 + g.max_degree() + 2 + 1;
   for (int flips : {0, 1, 2, 4, 8, 16, 64}) {
     if (flips > g.num_nodes()) break;
-    auto pred = flip_bits(base, flips, rng);
+    auto pred = flip_bits(g, base, flips, rng);
     auto result = run_with_predictions(g, pred, mis_parallel_linial());
     const int e2 = compute_eta2 ? eta2_mis(g, pred) : -1;
     table.print_row(

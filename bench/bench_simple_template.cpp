@@ -21,7 +21,7 @@ void sweep(const std::string& name, Graph g, Rng& rng, Table& table) {
   auto base = mis_correct_prediction(g, rng);
   for (int flips : {0, 1, 2, 4, 8, 16, 32}) {
     if (flips > g.num_nodes()) break;
-    auto pred = flip_bits(base, flips, rng);
+    auto pred = flip_bits(g, base, flips, rng);
     auto result = run_with_predictions(g, pred, mis_simple_greedy());
     const int e1 = eta1_mis(g, pred);
     const int e2 = g.num_nodes() <= 128 ? eta2_mis(g, pred) : -1;
@@ -66,7 +66,7 @@ void BM_SimpleTemplate(benchmark::State& state) {
   Rng rng(11);
   Graph g = make_grid(10, 10);
   randomize_ids(g, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng),
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                         static_cast<int>(state.range(0)), rng);
   int rounds = 0;
   for (auto _ : state) {

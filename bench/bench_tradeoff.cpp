@@ -12,7 +12,7 @@
 #include "graph/generators.hpp"
 #include "mis/checkers.hpp"
 #include "predict/error_measures.hpp"
-#include "predict/generators.hpp"
+#include "predict/provider.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "templates/mis_with_predictions.hpp"
@@ -28,21 +28,24 @@ void print_table() {
          "the Linial reference bound spent on Greedy MIS first). Rows: "
          "error level; columns: rounds at each lambda. Good predictions "
          "favour large lambda; bad ones favour small.");
-  Table table({"graph", "flips", "eta1", "lam=0", "lam=1/4", "lam=1/2",
+  Table table({"graph", "provider", "eta1", "lam=0", "lam=1/4", "lam=1/2",
                "lam=1"},
-              11);
+              16);
   table.print_header();
-  Rng rng(99);
-  // The (n, flips, lambda) grid is a batch: four jobs per table row, one
-  // engine each, printed from the submission-ordered results.
+  // The (n, provider, lambda) grid is a batch: four jobs per table row,
+  // one engine each, printed from the submission-ordered results. Every
+  // error level is a PredictionProvider; the jobs carry the provider and
+  // the runner materializes predictions itself, so this table doubles as
+  // the provider-plumbing exercise for BatchRunner.
+  constexpr std::uint64_t kSeed = 99;
   const std::vector<std::pair<int, int>> lambdas{{0, 1}, {1, 4}, {1, 2},
                                                  {1, 1}};
   BatchRunner runner({default_batch_workers()});
   struct Row {
     NodeId n;
     std::size_t graph_index;
-    int flips;
-    Predictions pred;
+    ProviderPtr provider;
+    Predictions pred;  // materialized once per row, for the eta1 column
   };
   std::vector<Row> rows;
   std::vector<Graph> graphs;
@@ -50,13 +53,18 @@ void print_table() {
   for (NodeId n : {80, 160}) {
     Graph& g = graphs.emplace_back(make_line(n));
     sorted_ids(g);
-    auto base = mis_correct_prediction(g, rng);
-    for (int flips : {0, 2, 8, 24, n}) {
-      auto pred = flips == n ? all_same(g, 1) : flip_bits(base, flips, rng);
+    for (ProviderPtr src :
+         {exact_provider(), perturbed_provider(2), perturbed_provider(8),
+          perturbed_provider(24), constant_provider(1)}) {
+      auto pred = provide_with_seed(*src, g, ProblemKind::kMis, kSeed);
       for (auto [num, den] : lambdas) {
-        runner.add(g, mis_consecutive_linial_lambda(num, den), pred);
+        BatchJob job = make_job(g, mis_consecutive_linial_lambda(num, den));
+        job.provider = src;
+        job.provider_kind = ProblemKind::kMis;
+        job.provider_seed = kSeed;
+        runner.add(std::move(job));
       }
-      rows.push_back({n, graphs.size() - 1, flips, std::move(pred)});
+      rows.push_back({n, graphs.size() - 1, std::move(src), std::move(pred)});
     }
   }
   auto results = take_results(runner.run_all());
@@ -64,7 +72,7 @@ void print_table() {
     const Row& row = rows[i];
     const Graph& g = graphs[row.graph_index];
     std::vector<std::string> cells = {"sorted_line_" + fmt(row.n),
-                                      fmt(row.flips),
+                                      row.provider->name(),
                                       fmt(eta1_mis(g, row.pred))};
     bool all_valid = true;
     for (std::size_t k = 0; k < lambdas.size(); ++k) {
@@ -78,10 +86,10 @@ void print_table() {
 }
 
 void BM_Tradeoff(benchmark::State& state) {
-  Rng rng(3);
   Graph g = make_line(120);
   sorted_ids(g);
-  auto pred = all_same(g, 1);
+  auto pred =
+      provide_with_seed(*constant_provider(1), g, ProblemKind::kMis, 3);
   int rounds = 0;
   for (auto _ : state) {
     auto result = run_with_predictions(

@@ -26,7 +26,7 @@ void sweep(const std::string& name, const RootedTree& t, Rng& rng,
     if (flips > t.graph.num_nodes()) break;
     auto pred = flips == t.graph.num_nodes()
                     ? all_same(t.graph, 0)
-                    : flip_bits(base, flips, rng);
+                    : flip_bits(t.graph, base, flips, rng);
     auto simple = run_with_predictions(t.graph, pred, tree_mis_simple(t));
     auto parallel = run_with_predictions(t.graph, pred, tree_mis_parallel(t));
     const int et = eta_t_mis(t, pred);

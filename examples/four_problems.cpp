@@ -51,7 +51,7 @@ int main() {
         errors == 0 ? "correct" : (errors == 5 ? "5 errors" : "40 errors");
     {
       auto pred =
-          flip_bits(mis_correct_prediction(g, rng), errors, rng);
+          flip_bits(g, mis_correct_prediction(g, rng), errors, rng);
       auto r = run_with_predictions(g, pred, mis_simple_greedy());
       std::printf("%-18s %-12s %-7d %-8d %s\n", "MIS", label,
                   eta1_mis(g, pred), r.rounds,

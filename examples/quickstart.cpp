@@ -48,8 +48,8 @@ int main() {
 
   // 2. A few wrong bits: rounds degrade linearly with the error, not with
   //    the graph size.
-  run_one("4 flipped bits", g, flip_bits(correct, 4, rng));
-  run_one("12 flipped bits", g, flip_bits(correct, 12, rng));
+  run_one("4 flipped bits", g, flip_bits(g, correct, 4, rng));
+  run_one("12 flipped bits", g, flip_bits(g, correct, 12, rng));
 
   // 3. Garbage predictions: the reference algorithm caps the damage.
   run_one("all ones (garbage)", g, all_same(g, 1));

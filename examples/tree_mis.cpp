@@ -49,7 +49,7 @@ int main() {
   auto base = mis_correct_prediction(t.graph, rng);
   for (int flips : {0, 2, 8, 32, 128, 300}) {
     auto pred =
-        flips == 300 ? all_same(t.graph, 0) : flip_bits(base, flips, rng);
+        flips == 300 ? all_same(t.graph, 0) : flip_bits(t.graph, base, flips, rng);
     auto simple = run_with_predictions(t.graph, pred, tree_mis_simple(t));
     auto parallel = run_with_predictions(t.graph, pred, tree_mis_parallel(t));
     std::printf("%-9d %-7d %-7d %-9d %-11d %s\n", flips,

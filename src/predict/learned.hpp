@@ -1,0 +1,114 @@
+// The learned prediction backend: a tiny dependency-free logistic model.
+//
+// Following the kissat-ml predict.h pattern — a solver feeding runtime
+// features into a trained linear model — but with no external ML
+// runtime: one Q16.16 weight row per node-valued problem kind, scored
+// against predict/features.hpp rows with 64-bit integer arithmetic, so
+// inference is bit-deterministic everywhere. The model's job is the
+// epoch question: given a node's local features and its PRIOR output
+// (last epoch's solution, decoded from a transcript), decide per node
+// whether the prior is still good advice. Concretely the provider
+//   * MIS       — emits the score's sign as the predicted bit,
+//   * matching  — keeps the prior partner iff the score is nonnegative
+//                 AND the partner is still a reciprocal neighbor (else ⊥),
+//   * coloring  — keeps the prior color iff the score is nonnegative AND
+//                 the color is still in the 1..Δ+1 palette (else 0).
+// A model that learns nothing degrades to the neutral provider; one that
+// learns "trust a locally consistent prior" keeps η at the churn scale
+// instead of the giant-component scale. bench_learned measures exactly
+// that gap, and the template degradation bounds hold at ANY prediction,
+// so a learned provider can sharpen rounds but never break guarantees.
+//
+// Training (fit_logistic) is full-batch gradient descent in double
+// precision with a fixed iteration count and no randomness, quantized to
+// Q16.16 at the end; it runs OFFLINE (tools/dgap_fit) or in a bench,
+// never in the simulator. Weights travel as a versioned "DGWB" blob with
+// a trailing FNV-1a checksum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predict/features.hpp"
+#include "predict/provider.hpp"
+
+namespace dgap {
+
+inline constexpr std::uint32_t kWeightBlobVersion = 1;
+
+/// Node-valued kinds get a weight row; edge coloring has no node model.
+inline constexpr int kNumLearnedKinds = 3;  // mis, matching, coloring
+
+struct LearnedModel {
+  std::uint32_t version = kWeightBlobVersion;
+  /// Q16.16 weights, rows indexed by ProblemKind (kMis..kColoring).
+  std::array<std::array<std::int32_t, kNumFeatures>, kNumLearnedKinds>
+      weights{};
+};
+
+/// Q16.16 decision score: dot(weights[kind], features) — nonnegative
+/// means "trust". Pure 64-bit integer arithmetic.
+std::int64_t learned_score_q16(const LearnedModel& model, ProblemKind kind,
+                               const FeatureRow& features);
+
+// ---- Training ---------------------------------------------------------------
+
+struct TrainingSet {
+  std::vector<FeatureRow> rows;
+  std::vector<int> labels;  // 0/1, aligned with rows
+};
+
+/// Build one labeled example per node of `g`. `prior` is the previous
+/// solution in the kind's encoding. Labels are supervision a fitter can
+/// actually learn from the features: for MIS, membership in the MIS that
+/// greedily repairs the prior (prior-claimed nodes first, identifier
+/// order); for matching/coloring, whether the node's prior output is
+/// still locally valid on `g`. Deterministic — no rng.
+TrainingSet training_samples(const Graph& g, ProblemKind kind,
+                             const std::vector<Value>& prior);
+
+/// Append `extra` onto `base` (rows and labels).
+void merge_training(TrainingSet& base, const TrainingSet& extra);
+
+/// The standard offline corpus, shared by tools/dgap_fit and
+/// bench_learned: for each entry of `error_levels`, materialize a
+/// perturbed_provider(level) prediction on `g` (seeded seed + level) as a
+/// synthetic stale prior and label it with training_samples. The result
+/// spans "prior fully trustworthy" through "prior mostly garbage", which
+/// is exactly the range a serving-epoch prior lives in.
+TrainingSet stale_training_corpus(const Graph& g, ProblemKind kind,
+                                  const std::vector<int>& error_levels,
+                                  std::uint64_t seed);
+
+/// Fit one kind's weight row by full-batch logistic-loss gradient
+/// descent: `iterations` steps at `learning_rate`, weights initialized
+/// to zero, then quantized to Q16.16. Deterministic given its inputs.
+void fit_logistic(LearnedModel& model, ProblemKind kind,
+                  const TrainingSet& data, int iterations,
+                  double learning_rate);
+
+/// Mean logistic loss of the current row on `data` (fit diagnostics).
+double logistic_loss(const LearnedModel& model, ProblemKind kind,
+                     const TrainingSet& data);
+
+// ---- Weight blob ("DGWB") ---------------------------------------------------
+
+/// Serialize: magic "DGWB", version, dimensions, row-major Q16.16
+/// weights, trailing FNV-1a checksum of everything before it.
+std::vector<std::uint8_t> encode_model(const LearnedModel& model);
+
+/// Parse and verify; DGAP_REQUIREs on bad magic, version, dimensions, or
+/// checksum.
+LearnedModel decode_model(const std::vector<std::uint8_t>& bytes);
+
+// ---- Provider ---------------------------------------------------------------
+
+/// A PredictionProvider running `model` over features extracted with
+/// `prior` (one Value per node of the graph it will be asked about, in
+/// the asked kind's encoding). Deterministic; ignores the rng. The
+/// digest covers the model version, every weight, and the prior, so two
+/// learned providers collide only when they would predict identically.
+ProviderPtr learned_provider(LearnedModel model, std::vector<Value> prior);
+
+}  // namespace dgap

@@ -51,6 +51,10 @@ std::size_t BatchRunner::add(BatchJob job) {
   DGAP_REQUIRE(job.algorithm_id.empty() || job.options.trace_sink == nullptr,
                "a content-addressed job cannot carry a trace sink — the "
                "sink would not fire on a cache hit");
+  DGAP_REQUIRE(job.provider == nullptr || (!job.predictions.has_node_values() &&
+                                           !job.predictions.has_edge_values()),
+               "a provider job materializes its own predictions; give one "
+               "source, not both");
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
 }
@@ -92,10 +96,14 @@ std::vector<BatchResult> BatchRunner::run_all() {
     cacheable[i] = 1;
     const std::uint64_t instance =
         job.use_spec ? spec_digest(job.spec) : graph_digest(*job.graph);
-    keys[i] = result_cache_key(
-        instance, job.algorithm_id, predictions_digest(job.predictions),
-        options_digest(job.options), job.capture_transcript,
-        job.transcript_detail);
+    const std::uint64_t pred_slot =
+        job.provider != nullptr
+            ? provider_slot_digest(*job.provider, job.provider_kind,
+                                   job.provider_seed)
+            : predictions_digest(job.predictions);
+    keys[i] = result_cache_key(instance, job.algorithm_id, pred_slot,
+                               options_digest(job.options),
+                               job.capture_transcript, job.transcript_detail);
     if (auto entry = results_.get(keys[i])) {
       results[i].index = i;
       results[i].ok = true;
@@ -104,6 +112,16 @@ std::vector<BatchResult> BatchRunner::run_all() {
       results[i].transcript = entry->transcript;
       cached[i] = 1;
     }
+  }
+
+  // Materialize provider predictions for the jobs that will actually
+  // run, serially in submission order (providers are deterministic given
+  // the seed, so this is reproducible regardless of worker count).
+  for (std::size_t i = 0; i < count; ++i) {
+    BatchJob& job = jobs_[i];
+    if (job.provider == nullptr || cached[i]) continue;
+    job.predictions = provide_with_seed(*job.provider, *job.graph,
+                                        job.provider_kind, job.provider_seed);
   }
 
   std::atomic<std::size_t> next{0};

@@ -66,6 +66,16 @@ struct BatchJob {
   /// per-node behavior. Incompatible with options.trace_sink (the sink
   /// would not fire on a hit; DGAP_REQUIRE at add()).
   std::string algorithm_id;
+  /// Provider-sourced predictions: when set (with `predictions` left
+  /// empty — DGAP_REQUIRE at add()), the runner materializes the
+  /// predictions itself via provider->provide(graph, provider_kind,
+  /// Rng(provider_seed)) in a serial pre-pass, and a content-addressed
+  /// job is keyed by provider_slot_digest(*provider, kind, seed) instead
+  /// of hashing a materialized vector — so a cache HIT never pays for
+  /// materialization at all.
+  ProviderPtr provider;
+  ProblemKind provider_kind = ProblemKind::kMis;
+  std::uint64_t provider_seed = 0;
 };
 
 /// Job against an existing graph (borrowed; caller keeps it alive).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "predict/provider.hpp"
 #include "sim/transcript.hpp"
 
 namespace dgap {
@@ -68,9 +69,9 @@ std::uint64_t epoch_report_checksum(const EpochReport& report) {
 EpochHarness::EpochHarness(EpochProblem problem, EpochConfig config)
     : problem_(std::move(problem)), config_(std::move(config)) {
   DGAP_REQUIRE(config_.epochs >= 1, "an epoch stream needs >= 1 epochs");
-  DGAP_REQUIRE(problem_.factory && problem_.scratch && problem_.warm &&
+  DGAP_REQUIRE(problem_.factory && problem_.scratch != nullptr &&
                    problem_.eta && problem_.check,
-               "epoch problem package is missing a required function");
+               "epoch problem package is missing a required member");
   DGAP_REQUIRE(config_.workers >= 0, "workers must be >= 0");
   DGAP_REQUIRE(config_.workers == 0 || config_.options.num_threads == 1,
                "batch execution forces single-threaded engines; use "
@@ -101,10 +102,15 @@ EpochReport EpochHarness::run() {
   Graph current = config_.base.build();
   Graph prev_graph;
   std::vector<Value> prev_outputs;
+  // Providers are deterministic; the fixed seed keeps every execution
+  // axis (workers, repeats) addressing the same cache slots.
+  constexpr std::uint64_t kProviderSeed = 0;
 
-  // Runs one job on the inline path: probe the cache, execute on a miss
-  // (honoring options.num_threads, reusing the harness scratch), fill.
-  auto run_inline = [&](const Graph& g, const Predictions& pred,
+  // Runs one provider-sourced job on the inline path: probe the cache by
+  // the provider's slot digest, and only on a miss materialize the
+  // prediction and execute (honoring options.num_threads, reusing the
+  // harness scratch), then fill.
+  auto run_inline = [&](const Graph& g, const PredictionProvider& provider,
                         bool capture, const std::string& label,
                         std::optional<GraphSpec> spec,
                         std::uint64_t instance_digest, RunResult& out,
@@ -113,10 +119,10 @@ EpochReport EpochHarness::run() {
     const bool cacheable = !algorithm_id.empty();
     std::uint64_t key = 0;
     if (cacheable) {
-      key = result_cache_key(instance_digest, algorithm_id,
-                             predictions_digest(pred),
-                             options_digest(config_.options), capture,
-                             config_.detail);
+      key = result_cache_key(
+          instance_digest, algorithm_id,
+          provider_slot_digest(provider, problem_.kind, kProviderSeed),
+          options_digest(config_.options), capture, config_.detail);
       if (auto entry = own_cache_->get(key)) {
         out = entry->result;
         transcript_out = entry->transcript;
@@ -124,6 +130,8 @@ EpochReport EpochHarness::run() {
         return;
       }
     }
+    const Predictions pred =
+        provide_with_seed(provider, g, problem_.kind, kProviderSeed);
     EngineOptions options = config_.options;
     std::unique_ptr<TranscriptWriter> writer;
     if (capture) {
@@ -147,9 +155,13 @@ EpochReport EpochHarness::run() {
       current = std::move(next);
     }
     const bool spec_built = (k == 0);
-    const Predictions warm_pred =
-        spec_built ? problem_.scratch(current)
-                   : problem_.warm(prev_graph, prev_outputs, current);
+    // Epoch 0 has no history: the warm run falls back to the scratch
+    // provider, exactly like the control.
+    const ProviderPtr warm_provider =
+        spec_built ? problem_.scratch
+                   : warm_start_provider(prev_graph, prev_outputs);
+    const Predictions warm_pred = provide_with_seed(
+        *warm_provider, current, problem_.kind, kProviderSeed);
     const std::string label =
         config_.label + "_e" + std::to_string(k);
 
@@ -167,7 +179,9 @@ EpochReport EpochHarness::run() {
       } else {
         warm_job.graph = &current;
       }
-      warm_job.predictions = warm_pred;
+      warm_job.provider = warm_provider;
+      warm_job.provider_kind = problem_.kind;
+      warm_job.provider_seed = kProviderSeed;
       warm_job.factory = problem_.factory();
       warm_job.options = config_.options;
       warm_job.capture_transcript = config_.capture_transcripts;
@@ -183,7 +197,9 @@ EpochReport EpochHarness::run() {
         } else {
           control_job.graph = &current;
         }
-        control_job.predictions = problem_.scratch(current);
+        control_job.provider = problem_.scratch;
+        control_job.provider_kind = problem_.kind;
+        control_job.provider_seed = kProviderSeed;
         control_job.factory = problem_.factory();
         control_job.options = config_.options;
         control_job.algorithm_id = algorithm_id;
@@ -203,15 +219,14 @@ EpochReport EpochHarness::run() {
     } else {
       const std::uint64_t instance = spec_built ? spec_digest(config_.base)
                                                 : graph_digest(current);
-      run_inline(current, warm_pred, config_.capture_transcripts, label,
+      run_inline(current, *warm_provider, config_.capture_transcripts, label,
                  spec_built ? std::optional<GraphSpec>(config_.base)
                             : std::nullopt,
                  instance, record.warm, record.warm_transcript,
                  record.warm_cache_hit);
       if (config_.run_control) {
-        const Predictions control_pred = problem_.scratch(current);
         std::vector<std::uint8_t> unused;
-        run_inline(current, control_pred, /*capture=*/false, label,
+        run_inline(current, *problem_.scratch, /*capture=*/false, label,
                    std::nullopt, instance, record.control, unused,
                    record.control_cache_hit);
       }

@@ -12,10 +12,14 @@
 // claim: amortized rounds/messages per epoch with warm starts vs without.
 //
 // The harness is problem-agnostic: an EpochProblem bundles the template
-// factory, the trivial and warm-start prediction makers, the error measure
-// η, its degradation bound, and the validity checker as plain functions
+// factory, the problem kind, the from-scratch PredictionProvider, the
+// error measure η, its degradation bound, and the validity checker
 // (assemblies for MIS / matching / coloring live in
-// templates/epoch_problems.hpp, above this layer).
+// templates/epoch_problems.hpp, above this layer). Warm starts need no
+// per-problem adapter anymore: the harness wraps epoch k−1's outputs in
+// a warm_start_provider (predict/provider.hpp), and the provider's
+// digest — not a hash of the materialized prediction — content-addresses
+// the run, so a cache HIT skips prediction materialization entirely.
 //
 // Execution is deterministic and cacheable. workers >= 1 schedules each
 // epoch's jobs on a BatchRunner (engines single-threaded, per the batch
@@ -48,14 +52,12 @@ namespace dgap {
 struct EpochProblem {
   /// Stable algorithm id for content addressing (e.g. "mis_simple_greedy").
   std::string name;
+  /// The problem the providers are asked for.
+  ProblemKind kind = ProblemKind::kMis;
   std::function<ProgramFactory()> factory;
-  /// The trivial prediction — what "no useful advice" means here.
-  std::function<Predictions(const Graph&)> scratch;
-  /// Previous run's outputs on the previous graph -> prediction on `next`.
-  std::function<Predictions(const Graph& prev,
-                            const std::vector<Value>& prev_outputs,
-                            const Graph& next)>
-      warm;
+  /// The trivial prediction source — what "no useful advice" means here
+  /// (usually neutral_provider()); also the from-scratch control's source.
+  ProviderPtr scratch;
   /// The problem's error measure (η1-style) of a prediction.
   std::function<int(const Graph&, const Predictions&)> eta;
   /// Round bound the template promises at error η on this instance; the

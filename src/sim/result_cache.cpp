@@ -77,6 +77,17 @@ std::uint64_t predictions_digest(const Predictions& pred) {
   return h;
 }
 
+std::uint64_t provider_slot_digest(const PredictionProvider& provider,
+                                   ProblemKind kind, std::uint64_t seed) {
+  // Domain-separated ("PROV") so a provider-addressed slot can never
+  // collide with a raw predictions_digest of the same numeric value.
+  std::uint64_t h = mix64(1469598103934665603ULL, 0x50524F56ULL);  // "PROV"
+  h = mix64(h, provider.digest());
+  h = mix_signed(h, static_cast<int>(kind));
+  h = mix64(h, seed);
+  return h;
+}
+
 std::uint64_t options_digest(const EngineOptions& options) {
   std::uint64_t h = 1469598103934665603ULL;
   h = mix_signed(h, options.max_rounds);
@@ -120,6 +131,7 @@ std::shared_ptr<const ResultCache::Entry> ResultCache::get(std::uint64_t key) {
   DGAP_ASSERT(guard_of(*it->second.entry) == it->second.guard,
               "result cache entry was mutated after insertion");
   ++hits_;
+  it->second.stamp = ++tick_;
   return it->second.entry;
 }
 
@@ -130,7 +142,40 @@ void ResultCache::put(std::uint64_t key, RunResult result,
   entry->transcript = std::move(transcript);
   const std::uint64_t guard = guard_of(*entry);
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.emplace(key, Stored{std::move(entry), guard});
+  auto [it, inserted] =
+      entries_.emplace(key, Stored{std::move(entry), guard, 0});
+  if (inserted) {
+    it->second.stamp = ++tick_;
+    evict_locked();
+  }
+}
+
+void ResultCache::evict_locked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.stamp < oldest->second.stamp) oldest = it;
+    }
+    entries_.erase(oldest);
+    ++evictions_;
+  }
+}
+
+void ResultCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_locked();
+}
+
+std::size_t ResultCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 std::size_t ResultCache::size() const {
@@ -153,6 +198,7 @@ void ResultCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 void ResultCache::poison_for_test(std::uint64_t key) {

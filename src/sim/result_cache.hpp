@@ -34,6 +34,7 @@
 
 #include "graph/spec.hpp"
 #include "predict/predictions.hpp"
+#include "predict/provider.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -54,6 +55,15 @@ std::uint64_t graph_digest(const Graph& g);
 std::uint64_t spec_digest(const GraphSpec& spec);
 
 std::uint64_t predictions_digest(const Predictions& pred);
+
+/// The predictions slot of a provider-addressed key: instead of hashing a
+/// materialized prediction vector, hash the provider's own digest plus
+/// the (kind, seed) it will be asked with. Sound because the provider
+/// digest contract (predict/provider.hpp) promises equal digests ⇒ equal
+/// provide() output for every (graph, kind, seed) — and the graph is
+/// already keyed by the instance digest next to this slot.
+std::uint64_t provider_slot_digest(const PredictionProvider& provider,
+                                   ProblemKind kind, std::uint64_t seed);
 
 /// Semantic options only: max_rounds, congest budget/policy, record flags.
 /// num_threads and trace_sink are execution knobs and excluded.
@@ -87,6 +97,14 @@ class ResultCache {
   void put(std::uint64_t key, RunResult result,
            std::vector<std::uint8_t> transcript = {});
 
+  /// Bound the entry count: 0 (the default) means unbounded; otherwise
+  /// the least-recently-USED entries (get() refreshes recency, put() of
+  /// a new key counts as a use) are evicted until size() <= capacity.
+  /// Shrinks immediately if the cache is already over the new cap.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+  std::int64_t evictions() const;
+
   std::size_t size() const;
   std::int64_t hits() const;
   std::int64_t misses() const;
@@ -100,13 +118,18 @@ class ResultCache {
   struct Stored {
     std::shared_ptr<Entry> entry;
     std::uint64_t guard = 0;  // payload checksum at put() time
+    std::uint64_t stamp = 0;  // recency tick of the last get()/put()
   };
   static std::uint64_t guard_of(const Entry& e);
+  void evict_locked();  // enforce capacity_; requires mu_ held
 
   mutable std::mutex mu_;
   std::map<std::uint64_t, Stored> entries_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t tick_ = 0;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
 };
 
 }  // namespace dgap

@@ -4,8 +4,7 @@
 #include "matching/checkers.hpp"
 #include "mis/checkers.hpp"
 #include "predict/error_measures.hpp"
-#include "predict/generators.hpp"
-#include "predict/warm_start.hpp"
+#include "predict/provider.hpp"
 #include "templates/mis_with_predictions.hpp"
 #include "templates/problems_with_predictions.hpp"
 
@@ -14,9 +13,9 @@ namespace dgap {
 EpochProblem epoch_mis() {
   EpochProblem p;
   p.name = "mis_simple_greedy";
+  p.kind = ProblemKind::kMis;
   p.factory = [] { return mis_simple_greedy(); };
-  p.scratch = [](const Graph& g) { return all_same(g, 0); };
-  p.warm = &warm_start_mis;
+  p.scratch = neutral_provider();
   p.eta = &eta1_mis;
   p.degradation_bound = [](int eta, const Graph&) { return eta + 3; };
   p.check = [](const Graph& g, const RunResult& r) {
@@ -28,9 +27,9 @@ EpochProblem epoch_mis() {
 EpochProblem epoch_matching() {
   EpochProblem p;
   p.name = "matching_simple_greedy";
+  p.kind = ProblemKind::kMatching;
   p.factory = [] { return matching_simple_greedy(); };
-  p.scratch = [](const Graph& g) { return all_same(g, kNoNode); };
-  p.warm = &warm_start_matching;
+  p.scratch = neutral_provider();
   p.eta = &eta1_matching;
   p.degradation_bound = [](int eta, const Graph&) {
     return 3 * (eta / 2) + 3;
@@ -44,9 +43,9 @@ EpochProblem epoch_matching() {
 EpochProblem epoch_coloring() {
   EpochProblem p;
   p.name = "coloring_simple_greedy";
+  p.kind = ProblemKind::kColoring;
   p.factory = [] { return coloring_simple_greedy(); };
-  p.scratch = [](const Graph& g) { return all_same(g, 0); };
-  p.warm = &warm_start_coloring;
+  p.scratch = neutral_provider();
   p.eta = &eta1_coloring;
   p.degradation_bound = [](int eta, const Graph&) { return eta + 2; };
   p.check = [](const Graph& g, const RunResult& r) {

@@ -1,10 +1,11 @@
 // Epoch-harness problem packages for the three node-output problems.
 //
 // Each package plugs a Simple-template assembly into the EpochHarness
-// (sim/epoch.hpp): the template factory, the trivial prediction (what the
-// from-scratch control runs with), the identifier-based warm-start adapter
-// (predict/warm_start.hpp), the η1 error measure, the concrete per-epoch
-// degradation bound from docs/ALGORITHMS.md, and the validity checker.
+// (sim/epoch.hpp): the template factory, the problem kind, the neutral
+// PredictionProvider (what the from-scratch control runs with; the
+// harness derives warm starts itself via warm_start_provider), the η1
+// error measure, the concrete per-epoch degradation bound from
+// docs/ALGORITHMS.md, and the validity checker.
 // The Simple variants are used because their round complexity is O(η)
 // with explicit constants — exactly the quantity warm-starting improves —
 // so the churn sweep can assert the bound per epoch, not just on average.

@@ -49,7 +49,7 @@ std::vector<SweepCase> sweep_cases(GraphCache& cache) {
     Rng rng(100 + salt);
     auto base = mis_correct_prediction(*g, rng);
     for (int flips : {0, 3, 9}) {
-      auto pred = flip_bits(base, flips, rng);
+      auto pred = flip_bits(*g, base, flips, rng);
       for (auto make : algos) {
         EngineOptions opt;
         opt.record_terminations = (salt % 2 == 0);
@@ -136,7 +136,7 @@ TEST(Batch, SpecJobsMatchBorrowedGraphJobs) {
       GraphSpec::gnp(18, 0.25, /*seed=*/3, GraphSpec::IdPolicy::kRandomized);
   const Graph g = spec.build();
   Rng rng(5);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 4, rng);
 
   BatchRunner runner({2});
   runner.add(spec, mis_simple_greedy(), pred);

@@ -66,7 +66,7 @@ const Equiv kEquivCases[] = {
 TEST(CompileEquivalence, IdenticalOutputsAndKRoundsTranscriptAcrossThreads) {
   Rng rng(11);
   Graph g = make_random_connected(40, 30, rng);
-  const Predictions mis_pred = flip_bits(mis_correct_prediction(g, rng), 6, rng);
+  const Predictions mis_pred = flip_bits(g, mis_correct_prediction(g, rng), 6, rng);
   const Predictions match_pred = matching_correct_prediction(g, rng);
 
   for (const Equiv& c : kEquivCases) {
@@ -294,7 +294,7 @@ TEST(CompileHazards, SuppressedResendMeetsTerminatingNeighbor) {
 TEST(CompileHazards, CompiledTemplatesMatchUncompiledAtEveryCut) {
   Rng rng(15);
   Graph g = make_gnp(14, 0.25, rng);
-  auto mis_pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+  auto mis_pred = flip_bits(g, mis_correct_prediction(g, rng), 4, rng);
   auto match_pred = matching_correct_prediction(g, rng);
 
   struct Case {

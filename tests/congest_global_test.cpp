@@ -84,7 +84,7 @@ TEST(CongestGlobal, ConsecutiveTemplateAssembly) {
     EXPECT_TRUE(is_valid_mis(g, rc.outputs));
     EXPECT_EQ(rc.rounds, 3);
     // Degradation + robustness under errors.
-    auto bad = flip_bits(correct, 6, rng);
+    auto bad = flip_bits(g, correct, 6, rng);
     auto rb = run_with_predictions(g, bad, mis_consecutive_congest());
     EXPECT_TRUE(is_valid_mis(g, rb.outputs)) << check_mis(g, rb.outputs);
     const int e1 = eta1_mis(g, bad);

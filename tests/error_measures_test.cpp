@@ -75,7 +75,7 @@ TEST(ErrorMeasures, Eta2AtMostEta1Everywhere) {
   Rng rng(2);
   for (int trial = 0; trial < 30; ++trial) {
     Graph g = make_gnp(18, 0.2, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(10)), rng);
     EXPECT_LE(eta2_mis(g, pred), eta1_mis(g, pred)) << "trial " << trial;
   }
@@ -103,7 +103,7 @@ TEST(ErrorMeasures, EtaBwAtMostEta1) {
   Rng rng(3);
   for (int trial = 0; trial < 30; ++trial) {
     Graph g = make_gnp(18, 0.25, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(12)), rng);
     EXPECT_LE(eta_bw_mis(g, pred), eta1_mis(g, pred));
   }
@@ -144,7 +144,7 @@ TEST(ErrorMeasures, EtaTAtMostEtaBw) {
   Rng rng(4);
   for (int trial = 0; trial < 30; ++trial) {
     RootedTree t = make_rooted_random_tree(25, rng);
-    auto pred = flip_bits(mis_correct_prediction(t.graph, rng),
+    auto pred = flip_bits(t.graph, mis_correct_prediction(t.graph, rng),
                           static_cast<int>(rng.next_below(12)), rng);
     EXPECT_LE(eta_t_mis(t, pred), eta_bw_mis(t.graph, pred));
     EXPECT_LE(eta_bw_mis(t.graph, pred), eta1_mis(t.graph, pred));
@@ -184,7 +184,7 @@ TEST(ErrorMeasures, Eta2BoundsSandwichExactValue) {
   Rng rng(7);
   for (int trial = 0; trial < 25; ++trial) {
     Graph g = make_gnp(16, 0.25, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(10)), rng);
     const int exact = eta2_mis(g, pred);
     const auto bounds = eta2_mis_bounds(g, pred);
@@ -209,7 +209,7 @@ TEST(ErrorMeasures, SumMeasureDominatesEta1) {
   Rng rng(6);
   for (int trial = 0; trial < 20; ++trial) {
     Graph g = make_gnp(18, 0.2, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(10)), rng);
     EXPECT_GE(eta_sum_mis(g, pred), eta1_mis(g, pred));
   }

@@ -73,7 +73,7 @@ TEST_P(FuzzTest, MisAlgorithms) {
   Graph g = random_instance(rng);
   const int flips = static_cast<int>(rng.next_below(
       static_cast<std::uint64_t>(g.num_nodes()) + 1));
-  auto pred = flip_bits(mis_correct_prediction(g, rng), flips, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), flips, rng);
   const int e1 = eta1_mis(g, pred);
   ProgramFactory (*factories[])() = {
       &mis_simple_greedy,      &mis_consecutive_gather,

@@ -291,7 +291,7 @@ TEST(LinialKw, ParallelTemplateVariantValidAndCapped) {
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = make_gnp(20, 0.35, rng);  // denser: larger Δ, KW matters
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(12)), rng);
     auto result = run_with_predictions(g, pred, mis_parallel_linial_kw());
     ASSERT_TRUE(result.completed);

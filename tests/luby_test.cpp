@@ -70,7 +70,7 @@ TEST(LubyTemplate, SimpleWithLubyIsConsistentAndValid) {
     auto r = run_with_predictions(g, correct, mis_simple_luby(trial));
     EXPECT_TRUE(is_valid_mis(g, r.outputs));
     EXPECT_EQ(r.rounds, 3);  // consistency from the initialization
-    auto bad = flip_bits(correct, 6, rng);
+    auto bad = flip_bits(g, correct, 6, rng);
     auto rb = run_with_predictions(g, bad, mis_simple_luby(trial));
     EXPECT_TRUE(is_valid_mis(g, rb.outputs)) << check_mis(g, rb.outputs);
   }

@@ -176,7 +176,7 @@ TEST(MisBasePhase, MatchesAnalyticStatus) {
   for (int trial = 0; trial < 20; ++trial) {
     Graph g = make_gnp(15, 0.25, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(8)), rng);
     auto outputs = run_phase_outputs(g, pred, make_mis_base());
     auto status = mis_base_status(g, pred);
@@ -195,7 +195,7 @@ TEST(MisBasePhase, PruningProperty) {
   // Every node that outputs, outputs its own prediction.
   Rng rng(8);
   Graph g = make_gnp(15, 0.3, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 4, rng);
   auto outputs = run_phase_outputs(g, pred, make_mis_base());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (mis_output_defined(outputs[v])) {
@@ -211,7 +211,7 @@ TEST(MisInitPhase, ContainsBaseSolution) {
   for (int trial = 0; trial < 20; ++trial) {
     Graph g = make_gnp(15, 0.25, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(8)), rng);
     auto base = run_phase_outputs(g, pred, make_mis_base());
     auto init = run_phase_outputs(g, pred, make_mis_init());

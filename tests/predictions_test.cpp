@@ -49,7 +49,7 @@ TEST(PredictionGenerators, FlipBitsFlipsExactlyK) {
   Rng rng(2);
   Graph g = make_line(20);
   auto base = mis_correct_prediction(g, rng);
-  auto flipped = flip_bits(base, 5, rng);
+  auto flipped = flip_bits(g, base, 5, rng);
   int diff = 0;
   for (NodeId v = 0; v < 20; ++v) {
     if (base.node(v) != flipped.node(v)) ++diff;
@@ -61,7 +61,7 @@ TEST(PredictionGenerators, FlipBitsClampsToN) {
   Rng rng(3);
   Graph g = make_line(4);
   auto base = all_same(g, 0);
-  auto flipped = flip_bits(base, 100, rng);
+  auto flipped = flip_bits(g, base, 100, rng);
   for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(flipped.node(v), 1);
 }
 

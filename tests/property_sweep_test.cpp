@@ -69,7 +69,7 @@ TEST_P(MisSweep, AllMisAlgorithmsExtendableAtEveryEvenCut) {
   const auto [graph_index, flips] = GetParam();
   Rng rng(static_cast<std::uint64_t>(graph_index * 101 + flips));
   Graph g = kGraphs[graph_index].make(rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), flips, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), flips, rng);
 
   ProgramFactory (*factories[])() = {&mis_simple_greedy,
                                      &mis_consecutive_gather,
@@ -217,7 +217,7 @@ TEST(EnforcedCongest, ComposedTemplateConsistentAtEveryCutUnderTightBudget) {
   Rng rng(31);
   Graph g = make_gnp(12, 0.3, rng);
   randomize_ids(g, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 4, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 4, rng);
 
   EngineOptions enforced;
   enforced.congest_policy = CongestPolicy::kDefer;
@@ -245,7 +245,7 @@ TEST(EnforcedCongest, ComposedTemplateConsistentAtEveryCutUnderTightBudget) {
 TEST(Determinism, IdenticalRunsIdenticalTranscripts) {
   Rng rng(9);
   Graph g = make_gnp(16, 0.25, rng);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 5, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 5, rng);
   for (auto factory : {&mis_simple_greedy, &mis_parallel_linial}) {
     auto a = run_with_predictions(g, pred, (*factory)());
     auto b = run_with_predictions(g, pred, (*factory)());

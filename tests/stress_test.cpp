@@ -65,7 +65,7 @@ TEST(Stress, ManyComponentsScaleLinearly) {
   Graph g = make_line(8);
   for (int i = 1; i < 500; ++i) g = disjoint_union(g, make_line(8));
   Rng rng(3);
-  auto pred = flip_bits(mis_correct_prediction(g, rng), 400, rng);
+  auto pred = flip_bits(g, mis_correct_prediction(g, rng), 400, rng);
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_with_predictions(g, pred, mis_simple_greedy());
   EXPECT_TRUE(result.completed);

@@ -22,7 +22,7 @@ struct Regime {
 
 Predictions make_regime(const Graph& g, const Regime& regime, Rng& rng) {
   if (regime.flips < 0) return all_same(g, 1);
-  return flip_bits(mis_correct_prediction(g, rng), regime.flips, rng);
+  return flip_bits(g, mis_correct_prediction(g, rng), regime.flips, rng);
 }
 
 const Regime kRegimes[] = {
@@ -92,7 +92,7 @@ TEST(SimpleTemplate, Observation7Bounds) {
   for (int trial = 0; trial < 25; ++trial) {
     Graph g = make_gnp(16, 0.2, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(10)), rng);
     auto result = run_with_predictions(g, pred, mis_simple_greedy());
     const int e1 = eta1_mis(g, pred);
@@ -109,7 +109,7 @@ TEST(ConsecutiveTemplate, Lemma8DegradationAndRobustness) {
   for (int trial = 0; trial < 15; ++trial) {
     Graph g = make_gnp(14, 0.25, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(8)), rng);
     auto result = run_with_predictions(g, pred, mis_consecutive_gather());
     const int e1 = eta1_mis(g, pred);
@@ -129,7 +129,7 @@ TEST(ParallelTemplate, Corollary12MinBound) {
   for (int trial = 0; trial < 15; ++trial) {
     Graph g = make_gnp(14, 0.3, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(8)), rng);
     auto result = run_with_predictions(g, pred, mis_parallel_linial());
     const int e2 = eta2_mis(g, pred);
@@ -167,7 +167,7 @@ TEST(InterleavedTemplate, DegradationBound) {
   for (int trial = 0; trial < 15; ++trial) {
     Graph g = make_gnp(14, 0.25, rng);
     randomize_ids(g, rng);
-    auto pred = flip_bits(mis_correct_prediction(g, rng),
+    auto pred = flip_bits(g, mis_correct_prediction(g, rng),
                           static_cast<int>(rng.next_below(6)), rng);
     auto result = run_with_predictions(g, pred, mis_interleaved_gather());
     const int e1 = eta1_mis(g, pred);

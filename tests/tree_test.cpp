@@ -74,7 +74,7 @@ TEST(TreeInit, ActiveComponentsAreMonochromatic) {
   for (int trial = 0; trial < 20; ++trial) {
     RootedTree t = make_rooted_random_tree(30, rng);
     randomize_ids(t.graph, rng);
-    auto pred = flip_bits(mis_correct_prediction(t.graph, rng),
+    auto pred = flip_bits(t.graph, mis_correct_prediction(t.graph, rng),
                           static_cast<int>(rng.next_below(15)), rng);
     auto result = run_with_predictions(
         t.graph, pred, phase_as_algorithm(make_tree_mis_init(t)));
@@ -245,7 +245,7 @@ TEST(TreeMisSimple, ConsistentAndValid) {
     EXPECT_TRUE(is_valid_mis(t.graph, r.outputs));
     EXPECT_LE(r.rounds, 3);  // consistency 3
 
-    auto bad = flip_bits(good, static_cast<int>(rng.next_below(15)), rng);
+    auto bad = flip_bits(t.graph, good, static_cast<int>(rng.next_below(15)), rng);
     auto rb = run_with_predictions(t.graph, bad, tree_mis_simple(t));
     EXPECT_TRUE(is_valid_mis(t.graph, rb.outputs))
         << check_mis(t.graph, rb.outputs);
@@ -266,7 +266,7 @@ TEST(TreeMisParallel, Corollary15Bounds) {
     EXPECT_LE(r.rounds, 3);  // consistency 3
 
     for (int flips : {2, 8, 40}) {
-      auto bad = flip_bits(good, flips, rng);
+      auto bad = flip_bits(t.graph, good, flips, rng);
       auto rb = run_with_predictions(t.graph, bad, tree_mis_parallel(t));
       EXPECT_TRUE(is_valid_mis(t.graph, rb.outputs))
           << check_mis(t.graph, rb.outputs);

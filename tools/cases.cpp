@@ -3,11 +3,10 @@
 #include <algorithm>
 
 #include "common/require.hpp"
-#include "common/rng.hpp"
-#include "templates/epoch_problems.hpp"
 #include "mis/congest_global.hpp"
-#include "predict/generators.hpp"
+#include "predict/provider.hpp"
 #include "random/luby.hpp"
+#include "templates/epoch_problems.hpp"
 #include "templates/mis_with_predictions.hpp"
 
 namespace dgap {
@@ -52,12 +51,26 @@ const std::vector<CanonicalCase>& canonical_cases() {
           "bits, cut at round 3";
       c.spec = GraphSpec::grid(6, 5);
       c.options.max_rounds = 3;
-      c.predictions = [](const Graph& g) {
-        Rng rng(913);
-        Predictions correct = mis_correct_prediction(g, rng);
-        return flip_bits(correct, 3, rng);
-      };
+      // Same bytes as the pre-provider recipe: one Rng(913) stream,
+      // correct MIS first, then 3 flips.
+      c.provider = perturbed_provider(3);
+      c.kind = ProblemKind::kMis;
+      c.prediction_seed = 913;
       c.factory = [] { return mis_parallel_linial(); };
+      out.push_back(std::move(c));
+    }
+
+    // 4. The learned-backend training corpus: a plain Luby MIS run on a
+    // 64-node G(n, p). Its golden doubles as tools/dgap_fit's committed
+    // training transcript — the smoke fit decodes the prior outputs from
+    // this exact file, so it is pinned like every other golden.
+    {
+      CanonicalCase c;
+      c.name = "learned_train_gnp64";
+      c.description =
+          "Luby MIS on gnp(64, p=0.05, seed 77), dgap_fit training corpus";
+      c.spec = GraphSpec::gnp(64, 0.05, 77);
+      c.factory = [] { return luby_mis_algorithm(9); };
       out.push_back(std::move(c));
     }
 
@@ -75,8 +88,9 @@ const CanonicalCase* find_canonical_case(const std::string& name) {
 
 RecordedRun record_canonical_case(const CanonicalCase& c, TraceDetail detail) {
   const Graph g = c.spec.build();
-  const Predictions predictions = c.predictions ? c.predictions(g)
-                                                : Predictions{};
+  const Predictions predictions =
+      c.provider ? provide_with_seed(*c.provider, g, c.kind, c.prediction_seed)
+                 : Predictions{};
   return record_run(g, predictions, c.factory(), c.options, detail, c.name,
                     c.spec);
 }
@@ -87,8 +101,9 @@ RunResult verify_canonical_case(const CanonicalCase& c,
                "transcript '" + golden.label + "' is not case '" + c.name +
                    "'");
   const Graph g = c.spec.build();
-  const Predictions predictions = c.predictions ? c.predictions(g)
-                                                : Predictions{};
+  const Predictions predictions =
+      c.provider ? provide_with_seed(*c.provider, g, c.kind, c.prediction_seed)
+                 : Predictions{};
   return run_verified(g, predictions, c.factory(), c.options, golden);
 }
 

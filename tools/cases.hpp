@@ -27,8 +27,13 @@ struct CanonicalCase {
   std::string description;  // one line for `dgap_trace list`
   GraphSpec spec;
   EngineOptions options;
-  /// Deterministic prediction recipe (null = run without predictions).
-  std::function<Predictions(const Graph&)> predictions;
+  /// Deterministic prediction source (null = run without predictions):
+  /// materialized as provide_with_seed(*provider, g, kind,
+  /// prediction_seed). Providers are construction-time, so the committed
+  /// goldens recorded before this field existed are byte-identical.
+  ProviderPtr provider;
+  ProblemKind kind = ProblemKind::kMis;
+  std::uint64_t prediction_seed = 0;
   std::function<ProgramFactory()> factory;
 };
 

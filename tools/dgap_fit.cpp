@@ -1,0 +1,129 @@
+// dgap_fit: the offline trainer behind the learned prediction backend.
+//
+//   dgap_fit <transcript.dgaptr> <out.dgwb> [iterations] [learning_rate]
+//
+// Reads a completed, spec-built binary transcript (the same "DGTR" files
+// the golden corpus uses — tests/golden/learned_train_gnp64.dgaptr is the
+// committed training run), rebuilds the instance from the embedded
+// GraphSpec, and decodes the run's final outputs as the PRIOR solution —
+// the thing a serving epoch would warm-start from. Training data is that
+// real prior plus the stale_training_corpus error sweep for all three
+// node-valued problem kinds; fit_logistic is full-batch and
+// deterministic, so the emitted "DGWB" weight blob is a pure function of
+// the transcript bytes and the hyperparameters. CI smoke-fits the
+// committed transcript and then hands the blob's providers to
+// bench_learned.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "predict/learned.hpp"
+#include "sim/transcript.hpp"
+
+namespace {
+
+using namespace dgap;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgap_fit <transcript.dgaptr> <out.dgwb> "
+               "[iterations] [learning_rate]\n");
+  return 2;
+}
+
+/// The run's final outputs, indexed by node: every termination event in
+/// the transcript assigns its node's output (indices, not identifiers —
+/// the same convention RunResult::outputs uses).
+std::vector<Value> prior_outputs(const Transcript& t) {
+  std::vector<Value> outputs(static_cast<std::size_t>(t.n), 0);
+  for (const TranscriptRound& round : t.rounds) {
+    for (const TranscriptTermination& term : round.terminations) {
+      outputs[static_cast<std::size_t>(term.node)] = term.output;
+    }
+  }
+  return outputs;
+}
+
+double accuracy(const LearnedModel& model, ProblemKind kind,
+                const TrainingSet& data) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    const bool trust = learned_score_q16(model, kind, data.rows[i]) >= 0;
+    if (trust == (data.labels[i] != 0)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.rows.size());
+}
+
+int run(int argc, char** argv) {
+  if (argc < 3 || argc > 5) return usage();
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 400;
+  const double learning_rate = argc > 4 ? std::atof(argv[4]) : 0.5;
+  DGAP_REQUIRE(iterations > 0, "iterations must be positive");
+  DGAP_REQUIRE(learning_rate > 0, "learning_rate must be positive");
+
+  const Transcript t = decode_transcript(read_transcript_file(in_path));
+  DGAP_REQUIRE(t.spec.has_value(),
+               "transcript has no embedded GraphSpec; dgap_fit needs a "
+               "spec-built run to rebuild the instance");
+  DGAP_REQUIRE(t.summary.completed,
+               "transcript records an incomplete run; the prior solution "
+               "would be partial");
+  const Graph g = t.spec->build();
+  DGAP_REQUIRE(g.num_nodes() == t.n, "rebuilt instance size mismatch");
+  const std::vector<Value> prior = prior_outputs(t);
+  std::printf("corpus: %s (n=%d, %d rounds)\n", t.label.c_str(), t.n,
+              t.summary.rounds);
+
+  // Error levels for the synthetic staleness sweep, scaled to n.
+  const int n = g.num_nodes();
+  const std::vector<int> levels{0, n / 16, n / 4, n};
+
+  LearnedModel model;
+  static constexpr ProblemKind kKinds[] = {
+      ProblemKind::kMis, ProblemKind::kMatching, ProblemKind::kColoring};
+  for (ProblemKind kind : kKinds) {
+    TrainingSet data = stale_training_corpus(g, kind, levels, 71);
+    if (kind == ProblemKind::kMis) {
+      // The transcript's real outputs are the one non-synthetic prior.
+      merge_training(data, training_samples(g, kind, prior));
+    }
+    const double loss0 = logistic_loss(model, kind, data);
+    fit_logistic(model, kind, data, iterations, learning_rate);
+    std::printf("fit %-9s %4zu samples  loss %.4f -> %.4f  acc %.3f\n",
+                problem_kind_name(kind), data.rows.size(), loss0,
+                logistic_loss(model, kind, data), accuracy(model, kind, data));
+  }
+
+  const std::vector<std::uint8_t> blob = encode_model(model);
+  {
+    // Round-trip before writing: a blob dgap_fit cannot re-decode is a
+    // bug, not an artifact.
+    const LearnedModel check = decode_model(blob);
+    DGAP_REQUIRE(check.weights == model.weights, "blob round-trip mismatch");
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  DGAP_REQUIRE(f != nullptr, "cannot open '" + out_path + "' for writing");
+  const std::size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  DGAP_REQUIRE(written == blob.size(), "short write to '" + out_path + "'");
+  std::printf("wrote %s (%zu bytes, version %u)\n", out_path.c_str(),
+              blob.size(), model.version);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dgap_fit: %s\n", e.what());
+    return 1;
+  }
+}

@@ -284,7 +284,9 @@ int cmd_profile(const std::string& which, int threads) {
   for (const CanonicalCase* c : selected) {
     const Graph g = c->spec.build();
     const Predictions predictions =
-        c->predictions ? c->predictions(g) : Predictions{};
+        c->provider ? provide_with_seed(*c->provider, g, c->kind,
+                                        c->prediction_seed)
+                    : Predictions{};
     EngineOptions opt = c->options;
     opt.profile_phases = true;
     if (threads > 0) opt.num_threads = threads;
